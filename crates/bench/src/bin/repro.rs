@@ -1,0 +1,206 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--quick] [--json]
+//! repro all [--quick] [--json]
+//! repro list
+//! ```
+//!
+//! Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig8 fig9 table1 table3
+//! table4 table5 table6 appendixA. (`table4` is produced together with
+//! `fig8` — both come from the same simulation.)
+
+use anubis_bench::experiments::{
+    appendix_a, fig1, fig2, fig3, fig4, fig5, fig6, fig8, fig9, table1, table3, table5, table6,
+    EXPERIMENT_IDS,
+};
+use anubis_metrics::json::to_json;
+use std::time::Instant;
+
+/// Output format of one experiment run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// The paper-style aligned tables.
+    Text,
+    /// Machine-readable JSON (one object per experiment).
+    Json,
+}
+
+fn render<T: serde::Serialize + std::fmt::Display>(value: &T, format: Format) -> String {
+    match format {
+        Format::Text => value.to_string(),
+        Format::Json => to_json(value).expect("experiment results are serializable"),
+    }
+}
+
+fn run_one(id: &str, quick: bool, centroid_mean: bool, format: Format) -> Result<String, String> {
+    let output = match id {
+        "fig1" => {
+            let cfg = if quick {
+                fig1::Fig1Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig1::run(&cfg), format)
+        }
+        "fig2" => {
+            let cfg = if quick {
+                fig2::Fig2Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig2::run(&cfg), format)
+        }
+        "fig3" => {
+            let cfg = if quick {
+                fig3::Fig3Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig3::run(&cfg), format)
+        }
+        "fig4" => {
+            let cfg = if quick {
+                fig4::Fig4Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig4::run(&cfg), format)
+        }
+        "fig5" => {
+            let cfg = if quick {
+                fig5::Fig5Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig5::run(&cfg), format)
+        }
+        "fig6" => {
+            let cfg = if quick {
+                fig6::Fig6Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig6::run(&cfg), format)
+        }
+        "fig8" | "table4" => {
+            let cfg = if quick {
+                fig8::Fig8Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&fig8::run(&cfg), format)
+        }
+        "fig9" => {
+            let mut cfg = if quick {
+                fig9::Fig9Config::quick()
+            } else {
+                Default::default()
+            };
+            if centroid_mean {
+                cfg.centroid = anubis_validator::CentroidMethod::DistributionMean;
+            }
+            render(&fig9::run(&cfg), format)
+        }
+        "table1" => {
+            let cfg = if quick {
+                table1::Table1Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&table1::run(&cfg), format)
+        }
+        "table3" => {
+            let cfg = if quick {
+                table3::Table3Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&table3::run(&cfg), format)
+        }
+        "table5" => {
+            let cfg = if quick {
+                table5::Table5Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&table5::run(&cfg), format)
+        }
+        "table6" => {
+            let cfg = if quick {
+                table6::Table6Config::quick()
+            } else {
+                Default::default()
+            };
+            render(&table6::run(&cfg), format)
+        }
+        "appendixA" | "appendixa" => {
+            let cfg = if quick {
+                appendix_a::AppendixAConfig::quick()
+            } else {
+                Default::default()
+            };
+            render(&appendix_a::run(&cfg), format)
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    };
+    Ok(output)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let centroid_mean = args.iter().any(|a| a == "--centroid-mean");
+    let format = if args.iter().any(|a| a == "--json") {
+        Format::Json
+    } else {
+        Format::Text
+    };
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let Some(target) = target else {
+        eprintln!("usage: repro <experiment|all|list> [--quick] [--centroid-mean] [--json]");
+        eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+        std::process::exit(2);
+    };
+
+    if target == "list" {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    // `table4` is rendered as part of fig8; avoid running the simulation
+    // twice under `all`.
+    let ids: Vec<&str> = if target == "all" {
+        EXPERIMENT_IDS
+            .iter()
+            .copied()
+            .filter(|&id| id != "table4")
+            .collect()
+    } else {
+        vec![target.as_str()]
+    };
+
+    for id in ids {
+        let started = Instant::now();
+        match run_one(id, quick, centroid_mean, format) {
+            Ok(output) => {
+                if format == Format::Json {
+                    println!("{output}");
+                } else {
+                    println!("=== {id} ({:.1}s) ===", started.elapsed().as_secs_f64());
+                    println!("{output}");
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Appendix A: networking-validation scan schedules.
+
+use crate::table::render_table;
+use anubis_netsim::{
+    full_scan_rounds, quick_scan_rounds, ring_permutation_spread, FatTree, FatTreeConfig,
+};
+use std::fmt;
+
+/// Configuration for the Appendix A reproduction.
+#[derive(Debug, Clone)]
+pub struct AppendixAConfig {
+    /// Cluster sizes to schedule (each must fit the fat-tree divisibility
+    /// constraints of [`FatTreeConfig::figure3_testbed`]).
+    pub scales: Vec<usize>,
+}
+
+impl Default for AppendixAConfig {
+    fn default() -> Self {
+        Self {
+            scales: vec![24, 48, 96, 192, 384, 768],
+        }
+    }
+}
+
+impl AppendixAConfig {
+    /// A fast preset for tests.
+    pub fn quick() -> Self {
+        Self {
+            scales: vec![24, 96],
+        }
+    }
+}
+
+/// Scheduling cost at one scale.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct ScaleOutcome {
+    /// Node count.
+    pub nodes: usize,
+    /// Full-scan rounds (`n − 1`).
+    pub full_rounds: usize,
+    /// Pairs covered by the full scan.
+    pub full_pairs: usize,
+    /// Quick-scan rounds (constant in the tree depth).
+    pub quick_rounds: usize,
+    /// Pairs covered by the quick scan.
+    pub quick_pairs: usize,
+}
+
+/// Result: one row per scale.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AppendixAResult {
+    /// Rows ascending by node count.
+    pub scales: Vec<ScaleOutcome>,
+    /// Section 2.3 companion: relative ring-bandwidth spread across
+    /// sampled node orders on a fabric with one degraded ToR — the reason
+    /// per-order validation is infeasible and link scans are used instead.
+    pub degraded_ring_spread: f64,
+}
+
+/// Runs the experiment.
+pub fn run(config: &AppendixAConfig) -> AppendixAResult {
+    let scales = config
+        .scales
+        .iter()
+        .map(|&nodes| {
+            let full = full_scan_rounds(nodes);
+            let mut tree_config = FatTreeConfig::figure3_testbed();
+            tree_config.nodes = nodes;
+            let tree = FatTree::build(tree_config).expect("scale fits the tree");
+            let quick = quick_scan_rounds(&tree).expect("valid tree");
+            ScaleOutcome {
+                nodes,
+                full_rounds: full.len(),
+                full_pairs: full.iter().map(Vec::len).sum(),
+                quick_rounds: quick.len(),
+                quick_pairs: quick.iter().map(Vec::len).sum(),
+            }
+        })
+        .collect();
+    // The permutation observation on the 24-node testbed.
+    let mut degraded = FatTree::build(FatTreeConfig::figure3_testbed()).expect("testbed");
+    degraded.break_tor_uplinks(1, 36).expect("tor exists");
+    let nodes: Vec<usize> = (0..16).collect();
+    let spread = ring_permutation_spread(&degraded, &nodes, 48, 5).expect("valid node set");
+    AppendixAResult {
+        scales,
+        degraded_ring_spread: spread.relative_spread(),
+    }
+}
+
+impl fmt::Display for AppendixAResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Appendix A: O(n) full scan vs O(1) topology-aware quick scan"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .scales
+            .iter()
+            .map(|s| {
+                vec![
+                    s.nodes.to_string(),
+                    s.full_rounds.to_string(),
+                    s.full_pairs.to_string(),
+                    s.quick_rounds.to_string(),
+                    s.quick_pairs.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(
+                &[
+                    "Nodes",
+                    "Full rounds",
+                    "Full pairs",
+                    "Quick rounds",
+                    "Quick pairs"
+                ],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "ring-order bandwidth spread on a degraded fabric: {:.1}% (n! orders, only some hit the bad links)",
+            self.degraded_ring_spread * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scan_grows_linearly_quick_scan_stays_constant() {
+        let result = run(&AppendixAConfig::default());
+        for s in &result.scales {
+            assert_eq!(s.full_rounds, s.nodes - 1);
+            assert_eq!(s.full_pairs, s.nodes * (s.nodes - 1) / 2);
+            assert!(
+                s.quick_rounds <= 3,
+                "quick scan is O(1) in rounds: {}",
+                s.quick_rounds
+            );
+        }
+        let first = result.scales.first().unwrap();
+        let last = result.scales.last().unwrap();
+        assert!(last.full_rounds > first.full_rounds);
+        assert_eq!(last.quick_rounds, first.quick_rounds);
+    }
+
+    #[test]
+    fn quick_scan_touches_every_node() {
+        let result = run(&AppendixAConfig::quick());
+        for s in &result.scales {
+            // Each round pairs at most n/2 pairs; the 2-hop round covers
+            // all nodes.
+            assert!(s.quick_pairs >= s.nodes / 2);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&AppendixAConfig::quick()).to_string();
+        assert!(text.contains("Quick rounds"));
+        assert!(text.contains("ring-order bandwidth spread"));
+    }
+
+    #[test]
+    fn permutation_spread_exists_on_degraded_fabric() {
+        let result = run(&AppendixAConfig::quick());
+        assert!(
+            result.degraded_ring_spread > 0.02,
+            "orders must differ: {}",
+            result.degraded_ring_spread
+        );
+    }
+}

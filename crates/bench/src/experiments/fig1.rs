@@ -1,0 +1,104 @@
+//! Figure 1: percentage of infrastructure incidents' sources.
+
+use crate::table::{pct, render_table};
+use anubis_hwsim::fault::IncidentCategory;
+use anubis_traces::{generate_incident_trace, IncidentTraceConfig};
+use std::fmt;
+
+/// Configuration for the Figure 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Nodes in the synthetic ticket month.
+    pub nodes: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            nodes: 1000,
+            seed: 42,
+        }
+    }
+}
+
+impl Fig1Config {
+    /// A fast preset for tests.
+    pub fn quick() -> Self {
+        Self {
+            nodes: 200,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result: incident-source shares, descending.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig1Result {
+    /// `(category, share)` rows, descending by share.
+    pub shares: Vec<(IncidentCategory, f64)>,
+    /// Total incidents observed.
+    pub total_incidents: usize,
+}
+
+/// Runs the experiment: generate a month of tickets and histogram the
+/// sources.
+pub fn run(config: &Fig1Config) -> Fig1Result {
+    let trace = generate_incident_trace(&IncidentTraceConfig {
+        nodes: config.nodes,
+        duration_hours: 720.0, // "1-month tickets"
+        seed: config.seed,
+        ..IncidentTraceConfig::default()
+    });
+    Fig1Result {
+        shares: trace.source_histogram(),
+        total_incidents: trace.events.len(),
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: incident sources ({} tickets)",
+            self.total_incidents
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .shares
+            .iter()
+            .map(|(c, s)| vec![c.name().to_string(), pct(*s)])
+            .collect();
+        write!(f, "{}", render_table(&["Component", "Share"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_than_eight_components_and_shares_sum_to_one() {
+        let result = run(&Fig1Config::quick());
+        assert!(result.shares.len() >= 8, "paper: >8 components appear");
+        let total: f64 = result.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Descending order.
+        assert!(result.shares.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn gpu_and_ib_dominate() {
+        let result = run(&Fig1Config::default());
+        let top: Vec<IncidentCategory> = result.shares.iter().take(3).map(|(c, _)| *c).collect();
+        assert!(top.contains(&IncidentCategory::GpuCompute));
+        assert!(top.contains(&IncidentCategory::IbLink));
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Fig1Config::quick()).to_string();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("GPU"));
+    }
+}

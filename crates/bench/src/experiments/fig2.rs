@@ -1,0 +1,124 @@
+//! Figure 2: incidents troubleshooting-duration distribution.
+
+use crate::table::{pct, render_table};
+use anubis_traces::TicketDurationModel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for the Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Tickets to sample.
+    pub tickets: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Self {
+            tickets: 50_000,
+            seed: 7,
+        }
+    }
+}
+
+impl Fig2Config {
+    /// A fast preset for tests.
+    pub fn quick() -> Self {
+        Self {
+            tickets: 5_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result: exceedance fractions at the paper's thresholds.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig2Result {
+    /// `(threshold hours, label, fraction of tickets above)` rows.
+    pub exceedance: Vec<(f64, &'static str, f64)>,
+    /// Median ticket duration in hours.
+    pub median_hours: f64,
+}
+
+/// Runs the experiment: sample ticket durations and build the tail
+/// distribution.
+pub fn run(config: &Fig2Config) -> Fig2Result {
+    let model = TicketDurationModel::figure2();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut draws: Vec<f64> = (0..config.tickets)
+        .map(|_| model.sample(&mut rng))
+        .collect();
+    draws.sort_by(f64::total_cmp);
+    let frac_above =
+        |hours: f64| draws.iter().filter(|&&d| d > hours).count() as f64 / draws.len() as f64;
+    let thresholds: [(f64, &'static str); 5] = [
+        (1.0, "> 1 hour"),
+        (6.0, "> 6 hours"),
+        (24.0, "> 1 day"),
+        (168.0, "> 1 week"),
+        (336.0, "> 2 weeks"),
+    ];
+    Fig2Result {
+        exceedance: thresholds
+            .iter()
+            .map(|&(h, l)| (h, l, frac_above(h)))
+            .collect(),
+        median_hours: draws[draws.len() / 2],
+    }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2: troubleshooting durations (median {:.1} h)",
+            self.median_hours
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .exceedance
+            .iter()
+            .map(|(_, label, frac)| vec![label.to_string(), pct(*frac)])
+            .collect();
+        write!(f, "{}", render_table(&["Duration", "Tickets"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_tails() {
+        let result = run(&Fig2Config::default());
+        let over_day = result
+            .exceedance
+            .iter()
+            .find(|(h, _, _)| *h == 24.0)
+            .unwrap()
+            .2;
+        let over_2w = result
+            .exceedance
+            .iter()
+            .find(|(h, _, _)| *h == 336.0)
+            .unwrap()
+            .2;
+        assert!((over_day - 0.381).abs() < 0.015, "1-day tail {over_day}");
+        assert!((over_2w - 0.103).abs() < 0.01, "2-week tail {over_2w}");
+    }
+
+    #[test]
+    fn exceedance_is_monotone() {
+        let result = run(&Fig2Config::quick());
+        assert!(result.exceedance.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert!(result.median_hours > 1.0);
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Fig2Config::quick()).to_string();
+        assert!(text.contains("> 1 day"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Figure 3: cumulative distribution of 2-node all-reduce bandwidth on a
+//! 24-node fat-tree testbed under different redundancy ratios.
+
+use anubis_hwsim::NoiseModel;
+use anubis_netsim::{concurrent_pair_bandwidths, full_scan_rounds, FatTree, FatTreeConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for the Figure 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Uplinks to break on the degraded ToRs (the masking budget is 4, so
+    /// anything above that violates the ≥50%-redundant-links-up rule).
+    pub broken_uplinks: u32,
+    /// How many ToR switches are degraded in scenario (a).
+    pub degraded_tors: usize,
+    /// RNG seed for measurement noise.
+    pub seed: u64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Self {
+            broken_uplinks: 6,
+            degraded_tors: 2,
+            seed: 3,
+        }
+    }
+}
+
+impl Fig3Config {
+    /// Test preset (same scale — the testbed is already small).
+    pub fn quick() -> Self {
+        Self::default()
+    }
+}
+
+/// Result: pair-bandwidth samples for both scenarios.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig3Result {
+    /// Scenario (a): several ToRs below 50% redundant links up.
+    pub degraded_bandwidths: Vec<f64>,
+    /// Scenario (b): all ToRs at or above 50% (same broken count but
+    /// within the masking budget).
+    pub healthy_bandwidths: Vec<f64>,
+}
+
+impl Fig3Result {
+    /// Empirical CDF points `(bandwidth, fraction <=)` of a scenario.
+    pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / sorted.len() as f64))
+            .collect()
+    }
+
+    /// Fraction of pairs below `threshold` GB/s in the degraded scenario.
+    pub fn degraded_fraction_below(&self, threshold: f64) -> f64 {
+        self.degraded_bandwidths
+            .iter()
+            .filter(|&&b| b < threshold)
+            .count() as f64
+            / self.degraded_bandwidths.len().max(1) as f64
+    }
+}
+
+/// Runs the experiment: all 2-node pairs (full circle-method scan, each
+/// round's 12 pairs running simultaneously) on the 24-node testbed, once
+/// with two ToRs past the redundancy budget and once with every ToR
+/// within it.
+pub fn run(config: &Fig3Config) -> Fig3Result {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let noise = NoiseModel::NETWORK;
+    let mut run_scenario = |break_past_budget: bool| -> Vec<f64> {
+        let mut tree =
+            FatTree::build(FatTreeConfig::figure3_testbed()).expect("testbed config is valid");
+        let budget = tree.tor_uplinks(0).expect("tor 0 exists").masking_budget();
+        for tor in 0..config.degraded_tors {
+            let broken = if break_past_budget {
+                config.broken_uplinks.max(budget + 1)
+            } else {
+                budget
+            };
+            tree.break_tor_uplinks(tor, broken).expect("tor exists");
+        }
+        let mut bandwidths = Vec::new();
+        for round in full_scan_rounds(tree.nodes()) {
+            let bws = concurrent_pair_bandwidths(&tree, &round).expect("pairs are valid nodes");
+            // Real measurements carry run-to-run noise; the congestion
+            // model is deterministic, so apply the network noise profile.
+            bandwidths.extend(bws.into_iter().map(|bw| noise.apply(bw, &mut rng)));
+        }
+        bandwidths
+    };
+    Fig3Result {
+        degraded_bandwidths: run_scenario(true),
+        healthy_bandwidths: run_scenario(false),
+    }
+}
+
+impl fmt::Display for Fig3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3: 2-node all-reduce bus bandwidth CDF (GB/s)")?;
+        let describe = |label: &str, values: &[f64], f: &mut fmt::Formatter<'_>| {
+            let cdf = Fig3Result::cdf(values);
+            let at = |q: f64| cdf[((cdf.len() - 1) as f64 * q) as usize].0;
+            writeln!(
+                f,
+                "  {label}: p5 {:.1}, p25 {:.1}, p50 {:.1}, p95 {:.1}",
+                at(0.05),
+                at(0.25),
+                at(0.5),
+                at(0.95)
+            )
+        };
+        describe(
+            "(a) ToRs < 50% redundant links up ",
+            &self.degraded_bandwidths,
+            f,
+        )?;
+        describe(
+            "(b) all ToRs >= 50% redundant up  ",
+            &self.healthy_bandwidths,
+            f,
+        )?;
+        writeln!(
+            f,
+            "  degraded pairs below 180 GB/s: {:.1}%",
+            self.degraded_fraction_below(180.0) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_redundancy_creates_a_slow_tail() {
+        let result = run(&Fig3Config::default());
+        assert!(
+            result.degraded_fraction_below(180.0) > 0.1,
+            "a visible fraction of pairs regress: {}",
+            result.degraded_fraction_below(180.0)
+        );
+        // The healthy scenario has no such tail even though links are
+        // broken (within the masking budget).
+        let healthy_below = result
+            .healthy_bandwidths
+            .iter()
+            .filter(|&&b| b < 180.0)
+            .count();
+        assert_eq!(healthy_below, 0, "masked breakage must not regress");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let result = run(&Fig3Config::quick());
+        let cdf = Fig3Result::cdf(&result.degraded_bandwidths);
+        assert_eq!(cdf.len(), 276, "all 24*23/2 pairs measured");
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Fig3Config::quick()).to_string();
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("p50"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 5: GPU-job percentage for diverse workloads.
+
+use crate::table::{pct, render_table};
+use anubis_workload::WorkloadMix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Configuration for the Figure 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Jobs to sample (the paper analyzed 56k+).
+    pub jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Self {
+            jobs: 56_000,
+            seed: 5,
+        }
+    }
+}
+
+impl Fig5Config {
+    /// A fast preset for tests.
+    pub fn quick() -> Self {
+        Self {
+            jobs: 5_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result: sampled job shares per workload class.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig5Result {
+    /// `(class label, sampled share)` rows, descending.
+    pub shares: Vec<(String, f64)>,
+    /// Share of Transformer-family jobs.
+    pub transformer_share: f64,
+    /// Fraction of Transformer jobs that are unidentifiable.
+    pub unidentified_transformer_fraction: f64,
+}
+
+/// Runs the experiment: sample the mix like classifying 56k job logs.
+pub fn run(config: &Fig5Config) -> Fig5Result {
+    let mix = WorkloadMix::azure_internal();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for _ in 0..config.jobs {
+        *counts.entry(mix.sample(&mut rng).label).or_insert(0) += 1;
+    }
+    let mut shares: Vec<(String, f64)> = counts
+        .into_iter()
+        .map(|(label, count)| (label.to_string(), count as f64 / config.jobs as f64))
+        .collect();
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let unidentified = shares
+        .iter()
+        .find(|(l, _)| l == "unidentified Transformer")
+        .map_or(0.0, |(_, s)| *s);
+    let transformer = mix.transformer_share();
+    Fig5Result {
+        shares,
+        transformer_share: transformer,
+        unidentified_transformer_fraction: unidentified / transformer,
+    }
+}
+
+impl fmt::Display for Fig5Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5: GPU job mix")?;
+        let rows: Vec<Vec<String>> = self
+            .shares
+            .iter()
+            .map(|(l, s)| vec![l.clone(), pct(*s)])
+            .collect();
+        write!(f, "{}", render_table(&["Workload", "Jobs"], &rows))?;
+        writeln!(
+            f,
+            "Transformers total: {} ({} unidentifiable)",
+            pct(self.transformer_share),
+            pct(self.unidentified_transformer_fraction)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unidentified_transformers_match_paper() {
+        let result = run(&Fig5Config::default());
+        assert!(
+            (result.unidentified_transformer_fraction - 0.355).abs() < 0.02,
+            "paper: 35.5% of Transformers unidentifiable, got {}",
+            result.unidentified_transformer_fraction
+        );
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_sorted() {
+        let result = run(&Fig5Config::quick());
+        let total: f64 = result.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(result.shares.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Fig5Config::quick()).to_string();
+        assert!(text.contains("Transformers total"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Figure 9: margin ratios of different criteria methods.
+//!
+//! 144 MI250X VMs run the end-to-end benchmarks; criteria are computed
+//! with the proposed Algorithm 2, IQR fences and k-means, and compared by
+//! *margin ratio*: `min_{i ∈ method-defective} d(Sᵢ, S_C) /
+//! max_{j ∈ method-healthy} d(Sⱼ, S_C)`. A ratio near 1 means the method
+//! drew its boundary through a continuum of marginal-but-healthy nodes; a
+//! large ratio means a clear-cut gap.
+
+use crate::table::render_table;
+use anubis_hwsim::noise::standard_normal;
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis_metrics::outlier::{IqrFences, KMeans, KMeansConfig};
+use anubis_metrics::{cdf_distance, stats, Sample};
+use anubis_validator::{calculate_criteria, CentroidMethod};
+use anubis_workload::{simulate_training, ModelId, TrainingOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for the Figure 9 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Fleet size (the paper's testbed: 144 MI250X VMs).
+    pub nodes: u32,
+    /// Nodes with injected defects.
+    pub defective_nodes: u32,
+    /// Steps recorded per training benchmark.
+    pub steps: usize,
+    /// Similarity threshold for the proposed method.
+    pub alpha: f64,
+    /// Centroid method for Algorithm 2 (the DESIGN.md ablation: medoid vs
+    /// distribution mean).
+    pub centroid: CentroidMethod,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Self {
+            nodes: 144,
+            defective_nodes: 8,
+            steps: 1024,
+            alpha: 0.95,
+            centroid: CentroidMethod::Medoid,
+            seed: 17,
+        }
+    }
+}
+
+impl Fig9Config {
+    /// A fast preset for tests.
+    pub fn quick() -> Self {
+        Self {
+            nodes: 40,
+            defective_nodes: 4,
+            steps: 512,
+            ..Self::default()
+        }
+    }
+}
+
+/// Margin ratios of the three methods for one model.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ModelMargins {
+    /// Which model was benchmarked.
+    pub model: ModelId,
+    /// Proposed Algorithm 2 margin ratio.
+    pub proposed: f64,
+    /// IQR-fence margin ratio.
+    pub iqr: f64,
+    /// k-means (k = 2) margin ratio.
+    pub kmeans: f64,
+}
+
+/// Result: margins per model plus a win count.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig9Result {
+    /// One row per end-to-end model.
+    pub models: Vec<ModelMargins>,
+}
+
+impl Fig9Result {
+    /// Number of models where the proposed method has the largest margin.
+    pub fn proposed_wins(&self) -> usize {
+        self.models
+            .iter()
+            .filter(|m| m.proposed >= m.iqr && m.proposed >= m.kmeans)
+            .count()
+    }
+}
+
+/// Margin ratio given a method's criteria sample and defect labels.
+fn margin_ratio(samples: &[Sample], criteria: &Sample, defective: &[bool]) -> f64 {
+    let mut min_defective = f64::INFINITY;
+    let mut max_healthy: f64 = 0.0;
+    for (sample, &bad) in samples.iter().zip(defective) {
+        let d = cdf_distance(sample, criteria);
+        if bad {
+            min_defective = min_defective.min(d);
+        } else {
+            max_healthy = max_healthy.max(d);
+        }
+    }
+    if !min_defective.is_finite() || max_healthy <= 0.0 {
+        // No defects found, or a perfect zero-distance healthy set: the
+        // boundary is undefined; report 1 (no margin).
+        return 1.0;
+    }
+    min_defective / max_healthy
+}
+
+/// Runs the experiment.
+pub fn run(config: &Fig9Config) -> Fig9Result {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Fleet structure, mirroring a real testbed: a healthy bulk with pure
+    // silicon-lottery spread, a handful of *marginal-but-healthy* nodes
+    // 0.5-1% slower (warm rack positions — well inside the α margin), and
+    // true defects regressing 6-22%. The marginal nodes are exactly the
+    // paper's GPT-2 story: the data-driven baselines cut their boundary
+    // through the healthy tail, collapsing their margin ratio, while
+    // Algorithm 2 keeps everything inside α healthy.
+    let warm_nodes = (config.nodes / 16).max(3);
+    let mut fleet: Vec<(NodeSim, bool)> = Vec::new();
+    for i in 0..config.nodes {
+        let mut node = NodeSim::new(NodeId(i), NodeSpec::mi250x_8x(), config.seed ^ u64::from(i));
+        let defective = i < config.defective_nodes;
+        if defective {
+            let severity = 0.08 + 0.14 * f64::from(i) / f64::from(config.defective_nodes.max(1));
+            node.inject_fault(FaultKind::GpuComputeDegraded { severity });
+        } else if i < config.defective_nodes + warm_nodes {
+            let severity =
+                0.005 + 0.002 * f64::from(i - config.defective_nodes) / f64::from(warm_nodes);
+            node.inject_fault(FaultKind::ThermalThrottle { severity });
+        } else {
+            // Pure silicon spread from the node's seed; draw the shared
+            // RNG anyway to keep the fleet deterministic per seed.
+            let _ = standard_normal(&mut rng);
+        }
+        fleet.push((node, defective));
+    }
+
+    // Production pipelines measure *after* the warmup transient
+    // (Appendix B); simulate extra steps and trim them.
+    const WARMUP_TRIM: usize = 64;
+    let opts = TrainingOptions::validation(config.steps + WARMUP_TRIM);
+    let models = [
+        ModelId::ResNet50,
+        ModelId::DenseNet169,
+        ModelId::Vgg16,
+        ModelId::Lstm,
+        ModelId::BertLarge,
+        ModelId::Gpt2Small,
+    ];
+    let mut results = Vec::new();
+    for model in models {
+        let cfg = model.config();
+        let samples: Vec<Sample> = fleet
+            .iter_mut()
+            .map(|(node, _)| {
+                let series = simulate_training(node, &cfg, &opts);
+                Sample::new(series[WARMUP_TRIM..].to_vec()).expect("positive throughput")
+            })
+            .collect();
+
+        // Proposed: Algorithm 2.
+        let proposed_result =
+            calculate_criteria(&samples, config.alpha, config.centroid).expect("valid samples");
+        let mut proposed_defective = vec![false; samples.len()];
+        for &d in &proposed_result.defects {
+            proposed_defective[d] = true;
+        }
+        let proposed = margin_ratio(&samples, &proposed_result.criteria, &proposed_defective);
+
+        // IQR baseline on average throughput.
+        let averages: Vec<f64> = samples.iter().map(Sample::mean).collect();
+        let fences = IqrFences::fit(&averages, 1.5).expect("enough nodes");
+        let iqr_defective: Vec<bool> = averages.iter().map(|&a| fences.is_low_outlier(a)).collect();
+        // S_C: median (by average) of the surviving samples.
+        let mut survivors: Vec<usize> = (0..samples.len()).filter(|&i| !iqr_defective[i]).collect();
+        survivors.sort_by(|&a, &b| averages[a].total_cmp(&averages[b]));
+        let iqr_criteria = samples[survivors[survivors.len() / 2]].clone();
+        let iqr = margin_ratio(&samples, &iqr_criteria, &iqr_defective);
+
+        // k-means baseline (k = 2, "default Euclidean distance" on the raw
+        // step series — per-step noise across many dimensions is exactly
+        // why this baseline draws unstable boundaries).
+        let dim = config.steps.min(64);
+        let points: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| stats::resample_linear(s.values(), dim))
+            .collect();
+        let km = KMeans::fit(
+            &points,
+            KMeansConfig {
+                k: 2,
+                seed: config.seed,
+                ..Default::default()
+            },
+        )
+        .expect("enough points");
+        let majority = km.majority_cluster();
+        let km_defective: Vec<bool> = km.assignments().iter().map(|&a| a != majority).collect();
+        // S_C: element-wise average of the majority cluster.
+        let member_points: Vec<&Vec<f64>> = km
+            .members_of(majority)
+            .into_iter()
+            .map(|i| &points[i])
+            .collect();
+        let mut mean_series = vec![0.0f64; dim];
+        for p in &member_points {
+            for (m, v) in mean_series.iter_mut().zip(p.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean_series {
+            *m /= member_points.len() as f64;
+        }
+        let km_criteria = Sample::new(mean_series).expect("positive throughput");
+        let kmeans = margin_ratio(&samples, &km_criteria, &km_defective);
+
+        results.push(ModelMargins {
+            model,
+            proposed,
+            iqr,
+            kmeans,
+        });
+    }
+    Fig9Result { models: results }
+}
+
+impl fmt::Display for Fig9Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9: margin ratios of criteria methods")?;
+        let rows: Vec<Vec<String>> = self
+            .models
+            .iter()
+            .map(|m| {
+                vec![
+                    m.model.name().to_string(),
+                    format!("{:.2}", m.proposed),
+                    format!("{:.2}", m.iqr),
+                    format!("{:.2}", m.kmeans),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render_table(&["Model", "Proposed", "IQR", "k-means"], &rows)
+        )?;
+        writeln!(
+            f,
+            "proposed method wins on {}/{} models",
+            self.proposed_wins(),
+            self.models.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_method_wins_on_most_models() {
+        let result = run(&Fig9Config::default());
+        assert_eq!(result.models.len(), 6);
+        assert!(
+            result.proposed_wins() >= 4,
+            "proposed should win on most models: {:?}",
+            result.models
+        );
+    }
+
+    #[test]
+    fn margins_are_positive() {
+        let result = run(&Fig9Config::quick());
+        for m in &result.models {
+            assert!(m.proposed > 0.0 && m.iqr > 0.0 && m.kmeans > 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn proposed_margin_is_clear_cut() {
+        let result = run(&Fig9Config::default());
+        let best = result
+            .models
+            .iter()
+            .map(|m| m.proposed)
+            .fold(0.0f64, f64::max);
+        assert!(best > 1.5, "a clear margin exists somewhere: {best}");
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Fig9Config::quick()).to_string();
+        assert!(text.contains("k-means"));
+    }
+}

@@ -1,0 +1,33 @@
+//! One module per paper table/figure.
+
+pub mod appendix_a;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table5;
+pub mod table6;
+
+/// Ids of every runnable experiment, as accepted by the `repro` binary.
+pub const EXPERIMENT_IDS: [&str; 14] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "appendixA",
+];

@@ -1,0 +1,186 @@
+//! Table 1: row-remapping impact on end-to-end workloads.
+
+use crate::table::{pct, render_table};
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis_workload::{simulate_training, ModelId, TrainingOptions};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration for the Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Fraction of nodes with 1–10 correctable errors (paper: 3.19%).
+    pub low_ce_fraction: f64,
+    /// Fraction of nodes with >10 correctable errors (paper: 0.18%).
+    pub high_ce_fraction: f64,
+    /// End-to-end regression threshold (relative throughput loss).
+    pub regression_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            nodes: 6000,
+            low_ce_fraction: 0.0319,
+            high_ce_fraction: 0.0018,
+            regression_threshold: 0.02,
+            seed: 33,
+        }
+    }
+}
+
+impl Table1Config {
+    /// A fast preset for tests (higher remap fractions so buckets are
+    /// populated).
+    pub fn quick() -> Self {
+        Self {
+            nodes: 400,
+            low_ce_fraction: 0.1,
+            high_ce_fraction: 0.05,
+            ..Self::default()
+        }
+    }
+}
+
+/// One CE-bucket row of Table 1.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct RemapBucket {
+    /// Nodes in this bucket.
+    pub nodes: usize,
+    /// Bucket share of the full fleet.
+    pub node_ratio: f64,
+    /// Fraction of bucket nodes with an end-to-end regression.
+    pub regression_ratio: f64,
+}
+
+/// Result: the two Table 1 buckets.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table1Result {
+    /// 1–10 correctable errors.
+    pub low_ce: RemapBucket,
+    /// >10 correctable errors.
+    pub high_ce: RemapBucket,
+}
+
+/// Runs the experiment: inject row remaps at fleet-calibrated rates,
+/// train a memory-sensitive CNN end to end, and compare each node's mean
+/// step throughput against a healthy reference.
+pub fn run(config: &Table1Config) -> Table1Result {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let model = ModelId::ResNet50.config();
+    let opts = TrainingOptions::validation(48);
+    let reference = {
+        let mut node = NodeSim::new(NodeId(u32::MAX), NodeSpec::a100_8x(), config.seed);
+        let series = simulate_training(&mut node, &model, &opts);
+        series[16..].iter().sum::<f64>() / (series.len() - 16) as f64
+    };
+
+    let mut buckets = [(0usize, 0usize), (0usize, 0usize)]; // (nodes, regressed)
+    for i in 0..config.nodes {
+        let draw: f64 = rng.random();
+        let errors = if draw < config.high_ce_fraction {
+            rng.random_range(11..40)
+        } else if draw < config.high_ce_fraction + config.low_ce_fraction {
+            rng.random_range(1..=10)
+        } else {
+            continue;
+        };
+        let mut node = NodeSim::new(NodeId(i), NodeSpec::a100_8x(), config.seed ^ u64::from(i));
+        node.inject_fault(FaultKind::RowRemapErrors {
+            correctable_errors: errors,
+        });
+        let series = simulate_training(&mut node, &model, &opts);
+        let throughput = series[16..].iter().sum::<f64>() / (series.len() - 16) as f64;
+        let regressed = throughput < reference * (1.0 - config.regression_threshold);
+        let bucket = usize::from(errors > 10);
+        buckets[bucket].0 += 1;
+        if regressed {
+            buckets[bucket].1 += 1;
+        }
+    }
+
+    let to_bucket = |(nodes, regressed): (usize, usize)| RemapBucket {
+        nodes,
+        node_ratio: nodes as f64 / config.nodes as f64,
+        regression_ratio: if nodes > 0 {
+            regressed as f64 / nodes as f64
+        } else {
+            0.0
+        },
+    };
+    Table1Result {
+        low_ce: to_bucket(buckets[0]),
+        high_ce: to_bucket(buckets[1]),
+    }
+}
+
+impl fmt::Display for Table1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: row-remapping impact on end-to-end workloads")?;
+        let rows = vec![
+            vec![
+                "row remapping node ratio of all nodes".to_string(),
+                pct(self.low_ce.node_ratio),
+                pct(self.high_ce.node_ratio),
+            ],
+            vec![
+                "regression node ratio of remapping nodes".to_string(),
+                pct(self.low_ce.regression_ratio),
+                pct(self.high_ce.regression_ratio),
+            ],
+        ];
+        write!(
+            f,
+            "{}",
+            render_table(&["correctable errors", "1~10", ">10"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_ce_nodes_mostly_regress() {
+        let result = run(&Table1Config::quick());
+        assert!(
+            result.high_ce.nodes > 5,
+            "bucket populated: {}",
+            result.high_ce.nodes
+        );
+        assert!(
+            result.high_ce.regression_ratio > 0.6,
+            ">10 CE regression ratio {}",
+            result.high_ce.regression_ratio
+        );
+        assert!(
+            result.low_ce.regression_ratio < 0.2,
+            "1-10 CE regression ratio {}",
+            result.low_ce.regression_ratio
+        );
+        // The paper's 77.8-point gap in direction.
+        assert!(result.high_ce.regression_ratio > result.low_ce.regression_ratio + 0.4);
+    }
+
+    #[test]
+    fn fleet_ratios_match_config() {
+        let config = Table1Config::quick();
+        let result = run(&config);
+        assert!((result.low_ce.node_ratio - config.low_ce_fraction).abs() < 0.05);
+        assert!((result.high_ce.node_ratio - config.high_ce_fraction).abs() < 0.05);
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(&Table1Config::quick()).to_string();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains(">10"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Tiny plain-text table renderer for experiment output.
+
+/// Renders rows as an aligned plain-text table with a header.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_bench::table::render_table;
+///
+/// let text = render_table(
+///     &["Model", "Accuracy"],
+///     &[vec!["Exponential".into(), "75.1%".into()]],
+/// );
+/// assert!(text.contains("Exponential"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&headers_owned, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let text = render_table(
+            &["A", "LongHeader"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1036), "10.36%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn handles_short_rows() {
+        let text = render_table(&["A", "B"], &[vec!["only-a".into()]]);
+        assert!(text.contains("only-a"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Node-parallel benchmark execution.
+//!
+//! Validation runs the same benchmark on every node simultaneously in
+//! production (the nodes are independent machines); this module gives the
+//! simulator the same shape by fanning single-node benchmarks out across
+//! OS threads with [`crossbeam::thread::scope`] and collecting results
+//! under a [`parking_lot::Mutex`].
+
+use crate::id::{BenchmarkId, Phase};
+use crate::runner::{run_benchmark, RunData, SuiteError};
+use anubis_hwsim::NodeSim;
+use parking_lot::Mutex;
+
+/// Per-node benchmark rows collected by a worker, keyed by fleet index.
+type NodeRows = (usize, Vec<(BenchmarkId, anubis_metrics::Sample)>);
+
+/// Runs a set of **single-node** benchmarks over all nodes, parallelizing
+/// across nodes.
+///
+/// Semantically identical to iterating [`run_benchmark`] (each node owns
+/// its RNG, so results match the sequential runner exactly); only
+/// wall-clock time changes. Multi-node benchmarks in `set` are rejected —
+/// they need the shared fabric and belong to the sequential phase-2 path.
+///
+/// `threads` caps the worker count (0 = one thread per node, up to 16).
+pub fn run_set_parallel(
+    set: &[BenchmarkId],
+    nodes: &mut [NodeSim],
+    threads: usize,
+) -> Result<RunData, SuiteError> {
+    if nodes.is_empty() {
+        return Err(SuiteError::EmptyNodeSet);
+    }
+    if let Some(&bad) = set.iter().find(|b| b.spec().phase != Phase::SingleNode) {
+        return Err(SuiteError::PhaseMismatch(bad));
+    }
+    let workers = if threads == 0 {
+        nodes.len().min(16)
+    } else {
+        threads.min(nodes.len())
+    };
+    let results: Mutex<Vec<NodeRows>> = Mutex::new(Vec::with_capacity(nodes.len()));
+    let errors: Mutex<Vec<SuiteError>> = Mutex::new(Vec::new());
+
+    // Hand each worker a disjoint chunk of nodes.
+    let chunk_size = nodes.len().div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in nodes.chunks_mut(chunk_size).enumerate() {
+            let results = &results;
+            let errors = &errors;
+            scope.spawn(move |_| {
+                for (offset, node) in chunk.iter_mut().enumerate() {
+                    let mut rows = Vec::with_capacity(set.len());
+                    for &bench in set {
+                        match run_benchmark(bench, node) {
+                            Ok(sample) => rows.push((bench, sample)),
+                            Err(e) => {
+                                errors.lock().push(e);
+                                return;
+                            }
+                        }
+                    }
+                    results.lock().push((chunk_idx * chunk_size + offset, rows));
+                }
+            });
+        }
+    })
+    .expect("benchmark worker panicked");
+
+    if let Some(error) = errors.into_inner().into_iter().next() {
+        return Err(error);
+    }
+    // Assemble in deterministic node order.
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    let mut data = RunData::default();
+    for (idx, rows) in collected {
+        let id = nodes[idx].id();
+        for (bench, sample) in rows {
+            data.results.entry(bench).or_default().push((id, sample));
+        }
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_set;
+    use anubis_hwsim::{NodeId, NodeSpec};
+
+    fn fleet(n: u32) -> Vec<NodeSim> {
+        (0..n)
+            .map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 33))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let set = [
+            BenchmarkId::GpuGemmFp16,
+            BenchmarkId::CpuLatency,
+            BenchmarkId::DiskSeqRead,
+        ];
+        let members: Vec<usize> = (0..12).collect();
+        let mut sequential_nodes = fleet(12);
+        let sequential = run_set(&set, &mut sequential_nodes, &members, None).unwrap();
+        let mut parallel_nodes = fleet(12);
+        let parallel = run_set_parallel(&set, &mut parallel_nodes, 4).unwrap();
+        for bench in set {
+            let a = sequential.samples_for(bench).unwrap();
+            let b = parallel.samples_for(bench).unwrap();
+            assert_eq!(a.len(), b.len());
+            for ((id_a, s_a), (id_b, s_b)) in a.iter().zip(b) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(s_a.values(), s_b.values(), "{bench}: node {id_a} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_multi_node_benchmarks() {
+        let mut nodes = fleet(2);
+        let err = run_set_parallel(&[BenchmarkId::AllPairRdma], &mut nodes, 2);
+        assert!(matches!(
+            err,
+            Err(SuiteError::PhaseMismatch(BenchmarkId::AllPairRdma))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_fleet() {
+        let mut nodes: Vec<NodeSim> = Vec::new();
+        assert!(matches!(
+            run_set_parallel(&[BenchmarkId::CpuLatency], &mut nodes, 2),
+            Err(SuiteError::EmptyNodeSet)
+        ));
+    }
+
+    #[test]
+    fn worker_count_edge_cases() {
+        let set = [BenchmarkId::CpuLatency];
+        for threads in [0usize, 1, 3, 100] {
+            let mut nodes = fleet(5);
+            let data = run_set_parallel(&set, &mut nodes, threads).unwrap();
+            assert_eq!(data.samples_for(BenchmarkId::CpuLatency).unwrap().len(), 5);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests over the benchmark suite.
+
+use anubis_benchsuite::{run_benchmark, BenchmarkId, Phase};
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis_metrics::Direction;
+use proptest::prelude::*;
+
+fn single_node_bench() -> impl Strategy<Value = BenchmarkId> {
+    prop::sample::select(BenchmarkId::single_node())
+}
+
+/// The benchmark expected to respond to a compute fault, per direction.
+fn respond_pair() -> impl Strategy<Value = (FaultKind, BenchmarkId)> {
+    prop_oneof![
+        (0.2f64..0.6).prop_map(|s| (
+            FaultKind::GpuComputeDegraded { severity: s },
+            BenchmarkId::GpuGemmFp16
+        )),
+        (0.2f64..0.6).prop_map(|s| (
+            FaultKind::PcieDowngrade { severity: s },
+            BenchmarkId::GpuH2dBandwidth
+        )),
+        (0.2f64..0.6).prop_map(|s| (
+            FaultKind::HcaDegraded { severity: s },
+            BenchmarkId::IbHcaLoopback
+        )),
+        (0.2f64..0.6).prop_map(|s| (
+            FaultKind::DiskSlow { severity: s },
+            BenchmarkId::DiskSeqRead
+        )),
+        (0.2f64..0.6).prop_map(|s| (
+            FaultKind::CpuMemoryLatency { severity: s },
+            BenchmarkId::CpuLatency
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any single-node benchmark on any seed yields a non-empty,
+    /// well-formed sample.
+    #[test]
+    fn benchmarks_always_produce_samples(bench in single_node_bench(), seed in 0u64..300) {
+        let mut node = NodeSim::new(NodeId(0), NodeSpec::a100_8x(), seed);
+        let sample = run_benchmark(bench, &mut node).unwrap();
+        prop_assert!(!sample.is_empty());
+        prop_assert!(sample.min() >= 0.0);
+        prop_assert!(sample.max().is_finite());
+    }
+
+    /// A responding benchmark moves in the defect's direction: throughput
+    /// metrics drop, latency metrics rise — for any severity ≥ 20% and any
+    /// seed.
+    #[test]
+    fn faults_move_their_benchmark_the_right_way(
+        (fault, bench) in respond_pair(),
+        seed in 0u64..300,
+    ) {
+        let mut healthy = NodeSim::new(NodeId(0), NodeSpec::a100_8x(), seed);
+        let mut defective = NodeSim::new(NodeId(0), NodeSpec::a100_8x(), seed);
+        defective.inject_fault(fault);
+        let h = run_benchmark(bench, &mut healthy).unwrap();
+        let d = run_benchmark(bench, &mut defective).unwrap();
+        match bench.spec().direction {
+            Direction::HigherIsBetter => {
+                prop_assert!(d.mean() < h.mean() * 0.9, "{bench}: {} vs {}", d.mean(), h.mean())
+            }
+            Direction::LowerIsBetter => {
+                prop_assert!(d.mean() > h.mean() * 1.1, "{bench}: {} vs {}", d.mean(), h.mean())
+            }
+        }
+    }
+
+    /// Every suite member has a consistent spec: positive runtime, a unit
+    /// string, and phase-consistent execution behaviour.
+    #[test]
+    fn specs_are_internally_consistent(idx in 0usize..31) {
+        let bench = BenchmarkId::ALL[idx];
+        let spec = bench.spec();
+        prop_assert!(spec.runtime_minutes > 0.0);
+        prop_assert!(!spec.unit.is_empty());
+        prop_assert!(!spec.name.is_empty());
+        let mut node = NodeSim::new(NodeId(0), NodeSpec::a100_8x(), 1);
+        let outcome = run_benchmark(bench, &mut node);
+        match spec.phase {
+            Phase::SingleNode => prop_assert!(outcome.is_ok()),
+            Phase::MultiNode => prop_assert!(outcome.is_err()),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Fleet driver: the Figure 7 runtime loop as a reusable object.
+//!
+//! Wires together hardware wear ([`anubis_hwsim::WearModel`]), the ANUBIS
+//! system (criteria + optional Selector), and the repair/hot-buffer flow:
+//! advance time → wear injects gray failures → a regular check validates →
+//! caught defects are swapped against the hot buffer → repaired nodes
+//! restock it. The `gray_failure_lifecycle` example is a thin shell over
+//! this type.
+
+use crate::events::ValidationEvent;
+use crate::repair::RepairSystem;
+use crate::system::Anubis;
+use anubis_benchsuite::SuiteError;
+use anubis_hwsim::{NodeSim, WearModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One driver step's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Simulated hours advanced.
+    pub hours: f64,
+    /// Wear onsets injected during the step.
+    pub onsets: usize,
+    /// Defects caught by the regular check.
+    pub caught: usize,
+    /// Caught defects that could not be swapped (hot buffer empty).
+    pub unswapped: usize,
+    /// Nodes in the gray state after the step (hidden damage only).
+    pub gray_nodes: usize,
+    /// Nodes with benchmark-visible damage after the step.
+    pub visible_nodes: usize,
+}
+
+/// Drives a fleet through wear / check / swap cycles.
+pub struct FleetDriver {
+    system: Anubis,
+    repair: RepairSystem,
+    nodes: Vec<NodeSim>,
+    members: Vec<usize>,
+    wear: WearModel,
+    rng: ChaCha8Rng,
+    clock_hours: f64,
+}
+
+impl FleetDriver {
+    /// Creates a driver and bootstraps criteria with a build-out run over
+    /// the (healthy) fleet.
+    ///
+    /// `spares` seeds the hot buffer.
+    pub fn new(
+        mut system: Anubis,
+        mut nodes: Vec<NodeSim>,
+        spares: impl IntoIterator<Item = NodeSim>,
+        wear: WearModel,
+        seed: u64,
+    ) -> Result<Self, SuiteError> {
+        let members: Vec<usize> = (0..nodes.len()).collect();
+        system.handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)?;
+        let mut repair = RepairSystem::new();
+        repair.stock_hot_buffer(spares);
+        Ok(Self {
+            system,
+            repair,
+            nodes,
+            members,
+            wear,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            clock_hours: 0.0,
+        })
+    }
+
+    /// Simulated wall clock.
+    pub fn clock_hours(&self) -> f64 {
+        self.clock_hours
+    }
+
+    /// The managed fleet.
+    pub fn nodes(&self) -> &[NodeSim] {
+        &self.nodes
+    }
+
+    /// The ANUBIS system (statuses, criteria, coverage).
+    pub fn system(&self) -> &Anubis {
+        &self.system
+    }
+
+    /// The repair system.
+    pub fn repair(&self) -> &RepairSystem {
+        &self.repair
+    }
+
+    /// Advances `hours` of stressed operation, runs a regular check, and
+    /// swaps every caught defect against the hot buffer (repaired nodes
+    /// return to it at the end of the step).
+    pub fn step(&mut self, hours: f64) -> Result<StepReport, SuiteError> {
+        let mut onsets = 0usize;
+        for node in &mut self.nodes {
+            onsets += self.wear.advance(node, hours, &mut self.rng).len();
+        }
+        self.system.advance_hours(hours);
+        self.clock_hours += hours;
+
+        let outcome = self.system.handle_event(
+            &ValidationEvent::RegularCheck {
+                horizon_hours: hours.max(1.0),
+            },
+            &mut self.nodes,
+            &self.members,
+            None,
+        )?;
+        let caught = outcome.defective.len();
+        let mut unswapped = 0usize;
+        for id in &outcome.defective {
+            let idx = self
+                .nodes
+                .iter()
+                .position(|n| n.id() == *id)
+                .expect("flagged node is in the fleet");
+            if self.repair.hot_buffer_len() > 0 {
+                let replacement = self
+                    .repair
+                    .swap(self.nodes[idx].clone())
+                    .expect("buffer checked non-empty");
+                self.nodes[idx] = replacement;
+            } else {
+                // No spare: the defective node stays in service (capacity
+                // over quality — the operator's only option).
+                unswapped += 1;
+            }
+        }
+        self.repair.repair_cycle();
+
+        Ok(StepReport {
+            hours,
+            onsets,
+            caught,
+            unswapped,
+            gray_nodes: self
+                .nodes
+                .iter()
+                .filter(|n| n.has_hidden_damage() && !n.has_detectable_defect())
+                .count(),
+            visible_nodes: self
+                .nodes
+                .iter()
+                .filter(|n| n.has_detectable_defect())
+                .count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::AnubisConfig;
+    use anubis_hwsim::{NodeId, NodeSpec};
+
+    fn driver(fleet: u32, spares: u32, wear_scale: f64) -> FleetDriver {
+        let nodes: Vec<NodeSim> = (0..fleet)
+            .map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 21))
+            .collect();
+        let spares =
+            (1000..1000 + spares).map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 21));
+        FleetDriver::new(
+            Anubis::new(AnubisConfig::default()),
+            nodes,
+            spares,
+            WearModel::azure_like().scaled(wear_scale),
+            9,
+        )
+        .expect("bootstrap")
+    }
+
+    #[test]
+    fn fleet_size_is_invariant_under_swaps() {
+        let mut driver = driver(10, 6, 1.0);
+        for _ in 0..4 {
+            let report = driver.step(200.0).unwrap();
+            assert_eq!(driver.nodes().len(), 10);
+            assert!(report.gray_nodes + report.visible_nodes <= 10);
+        }
+        assert_eq!(driver.clock_hours(), 800.0);
+    }
+
+    #[test]
+    fn checks_catch_accumulated_wear() {
+        let mut driver = driver(12, 12, 2.0);
+        let mut caught = 0usize;
+        let mut onsets = 0usize;
+        for _ in 0..5 {
+            let report = driver.step(300.0).unwrap();
+            caught += report.caught;
+            onsets += report.onsets;
+        }
+        assert!(onsets > 10, "wear must fire: {onsets}");
+        assert!(caught > 0, "checks must catch some of it");
+    }
+
+    #[test]
+    fn empty_hot_buffer_reports_unswapped() {
+        let mut driver = driver(10, 0, 4.0);
+        let mut unswapped = 0usize;
+        for _ in 0..4 {
+            unswapped += driver.step(400.0).unwrap().unswapped;
+        }
+        assert!(unswapped > 0, "no spares: swaps must fail");
+        // Without spares nothing ever reaches the repair loop and the
+        // defective nodes stay in service.
+        assert_eq!(driver.repair().hot_buffer_len(), 0);
+        assert!(driver.nodes().iter().any(NodeSim::has_detectable_defect));
+    }
+}

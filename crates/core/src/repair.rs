@@ -1,0 +1,107 @@
+//! The repair system: out-for-repair buffer and hot buffer.
+//!
+//! The paper's runtime keeps a *defective buffer* of nodes out for repair
+//! (OFR) and a *hot buffer* of repaired healthy nodes; defective nodes are
+//! swapped against healthy ones so the orchestration system keeps its
+//! capacity.
+
+use anubis_hwsim::{NodeId, NodeSim};
+
+/// Hot-buffer / out-for-repair bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct RepairSystem {
+    hot_buffer: Vec<NodeSim>,
+    out_for_repair: Vec<NodeSim>,
+}
+
+impl RepairSystem {
+    /// An empty repair system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the hot buffer with healthy spare nodes.
+    pub fn stock_hot_buffer(&mut self, nodes: impl IntoIterator<Item = NodeSim>) {
+        self.hot_buffer.extend(nodes);
+    }
+
+    /// Healthy spares currently available.
+    pub fn hot_buffer_len(&self) -> usize {
+        self.hot_buffer.len()
+    }
+
+    /// Nodes currently out for repair.
+    pub fn out_for_repair_len(&self) -> usize {
+        self.out_for_repair.len()
+    }
+
+    /// Swaps a defective node against a hot spare, if one is available.
+    ///
+    /// The defective node moves to the OFR buffer and the spare is
+    /// returned for immediate use. `None` means the hot buffer is empty
+    /// and the defective node stays out (capacity shrinks).
+    pub fn swap(&mut self, defective: NodeSim) -> Option<NodeSim> {
+        let replacement = self.hot_buffer.pop();
+        self.out_for_repair.push(defective);
+        replacement
+    }
+
+    /// Runs a repair cycle: every OFR node is fully repaired (hardware
+    /// replaced / redundancy restored) and returns to the hot buffer.
+    ///
+    /// Returns the ids of the nodes repaired.
+    pub fn repair_cycle(&mut self) -> Vec<NodeId> {
+        let mut repaired = Vec::with_capacity(self.out_for_repair.len());
+        for mut node in self.out_for_repair.drain(..) {
+            node.repair_all();
+            repaired.push(node.id());
+            self.hot_buffer.push(node);
+        }
+        repaired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anubis_hwsim::{FaultKind, NodeSpec};
+
+    fn node(id: u32) -> NodeSim {
+        NodeSim::new(NodeId(id), NodeSpec::a100_8x(), 1)
+    }
+
+    #[test]
+    fn swap_returns_spare_and_queues_defective() {
+        let mut repair = RepairSystem::new();
+        repair.stock_hot_buffer([node(100), node(101)]);
+        let mut defective = node(0);
+        defective.inject_fault(FaultKind::DiskSlow { severity: 0.5 });
+        let spare = repair.swap(defective).expect("spare available");
+        assert!(!spare.has_detectable_defect());
+        assert_eq!(repair.hot_buffer_len(), 1);
+        assert_eq!(repair.out_for_repair_len(), 1);
+    }
+
+    #[test]
+    fn swap_without_spares_shrinks_capacity() {
+        let mut repair = RepairSystem::new();
+        assert!(repair.swap(node(0)).is_none());
+        assert_eq!(repair.out_for_repair_len(), 1);
+    }
+
+    #[test]
+    fn repair_cycle_restores_and_restocks() {
+        let mut repair = RepairSystem::new();
+        let mut defective = node(7);
+        defective.inject_fault(FaultKind::GpuComputeDegraded { severity: 0.4 });
+        repair.swap(defective);
+        let repaired = repair.repair_cycle();
+        assert_eq!(repaired, vec![NodeId(7)]);
+        assert_eq!(repair.out_for_repair_len(), 0);
+        assert_eq!(repair.hot_buffer_len(), 1);
+        // The node comes back healthy and reusable.
+        let back = repair.swap(node(8)).unwrap();
+        assert_eq!(back.id(), NodeId(7));
+        assert!(!back.has_detectable_defect());
+    }
+}

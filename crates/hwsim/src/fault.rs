@@ -1,0 +1,309 @@
+//! Injectable hardware defects and their performance impact.
+
+/// Incident source categories, matching the paper's Figure 1 breakdown of
+/// one month of Azure tickets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
+pub enum IncidentCategory {
+    /// GPU compute (SM/clock) problems, incl. thermal throttling.
+    GpuCompute,
+    /// GPU HBM problems (row remapping, bandwidth loss).
+    GpuMemory,
+    /// Intra-node scale-up fabric (NVLink/xGMI).
+    NvLink,
+    /// Inter-node InfiniBand links (cable/transceiver BER).
+    IbLink,
+    /// Host NIC / HCA.
+    Nic,
+    /// PCIe host↔device path.
+    Pcie,
+    /// Host CPU / DRAM.
+    CpuMemory,
+    /// Local disk.
+    Disk,
+    /// Software / driver / firmware issues.
+    Software,
+}
+
+impl IncidentCategory {
+    /// All categories in a stable order.
+    pub const ALL: [IncidentCategory; 9] = [
+        IncidentCategory::GpuCompute,
+        IncidentCategory::GpuMemory,
+        IncidentCategory::NvLink,
+        IncidentCategory::IbLink,
+        IncidentCategory::Nic,
+        IncidentCategory::Pcie,
+        IncidentCategory::CpuMemory,
+        IncidentCategory::Disk,
+        IncidentCategory::Software,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::GpuCompute => "GPU",
+            Self::GpuMemory => "GPU memory",
+            Self::NvLink => "NVLink",
+            Self::IbLink => "IB link",
+            Self::Nic => "NIC",
+            Self::Pcie => "PCIe",
+            Self::CpuMemory => "CPU/memory",
+            Self::Disk => "Disk",
+            Self::Software => "Software",
+        }
+    }
+}
+
+/// A concrete injectable defect.
+///
+/// Severities are performance-loss fractions in `(0, 1)`: 0.2 means the
+/// affected path runs at 80% of nominal.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum FaultKind {
+    /// SM/clock degradation: GEMM and end-to-end compute slow down.
+    GpuComputeDegraded { severity: f64 },
+    /// Sustained thermal throttling (warm rack position).
+    ThermalThrottle { severity: f64 },
+    /// HBM bandwidth loss visible to copy and memory-bound kernels.
+    GpuMemoryBandwidthDegraded { severity: f64 },
+    /// New correctable errors absorbed by row remapping. May or may not
+    /// produce an end-to-end regression (Table 1); the draw happens at
+    /// injection time inside [`crate::NodeSim`].
+    RowRemapErrors { correctable_errors: u32 },
+    /// Broken NVLink/xGMI lanes (redundancy-masked until past budget).
+    NvLinkLanesDown { lanes: u32 },
+    /// PCIe link downgrade (e.g. x16 → x8).
+    PcieDowngrade { severity: f64 },
+    /// High bit-error-rate InfiniBand link: retransmits eat bandwidth.
+    IbLinkBer { severity: f64 },
+    /// HCA device problem visible in loopback.
+    HcaDegraded { severity: f64 },
+    /// Host DRAM latency regression (bad DIMM / NUMA misconfig).
+    CpuMemoryLatency { severity: f64 },
+    /// Slow local disk.
+    DiskSlow { severity: f64 },
+    /// The Section 2.1 gray failure: computation and communication are
+    /// individually nominal, but L2-cache interference degrades their
+    /// overlap.
+    OverlapInterference { severity: f64 },
+    /// Kernel-launch path regression (driver/software).
+    KernelLaunchOverhead { severity: f64 },
+}
+
+impl FaultKind {
+    /// The incident category this fault belongs to.
+    pub fn category(&self) -> IncidentCategory {
+        match self {
+            Self::GpuComputeDegraded { .. } | Self::ThermalThrottle { .. } => {
+                IncidentCategory::GpuCompute
+            }
+            Self::GpuMemoryBandwidthDegraded { .. } | Self::RowRemapErrors { .. } => {
+                IncidentCategory::GpuMemory
+            }
+            Self::NvLinkLanesDown { .. } => IncidentCategory::NvLink,
+            Self::PcieDowngrade { .. } => IncidentCategory::Pcie,
+            Self::IbLinkBer { .. } => IncidentCategory::IbLink,
+            Self::HcaDegraded { .. } => IncidentCategory::Nic,
+            Self::CpuMemoryLatency { .. } => IncidentCategory::CpuMemory,
+            Self::DiskSlow { .. } => IncidentCategory::Disk,
+            Self::OverlapInterference { .. } | Self::KernelLaunchOverhead { .. } => {
+                IncidentCategory::Software
+            }
+        }
+    }
+}
+
+/// Multiplicative impact of active faults on each measurable path.
+///
+/// Throughput-like factors are `<= 1` (1 = nominal); latency-like factors
+/// are `>= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultImpact {
+    /// GEMM / compute throughput factor.
+    pub compute: f64,
+    /// HBM bandwidth factor.
+    pub hbm_bandwidth: f64,
+    /// NVLink/xGMI collective bandwidth factor.
+    pub nvlink_bandwidth: f64,
+    /// PCIe H2D/D2H bandwidth factor.
+    pub pcie_bandwidth: f64,
+    /// Inter-node network bandwidth factor.
+    pub network_bandwidth: f64,
+    /// HCA loopback bandwidth factor.
+    pub hca_loopback: f64,
+    /// Host memory latency factor (≥ 1).
+    pub cpu_latency: f64,
+    /// Disk throughput/IOPS factor.
+    pub disk: f64,
+    /// Extra penalty applied only when compute and communication overlap.
+    pub overlap: f64,
+    /// Kernel-launch latency factor (≥ 1).
+    pub kernel_launch: f64,
+}
+
+impl FaultImpact {
+    /// No impact at all.
+    pub const NONE: Self = Self {
+        compute: 1.0,
+        hbm_bandwidth: 1.0,
+        nvlink_bandwidth: 1.0,
+        pcie_bandwidth: 1.0,
+        network_bandwidth: 1.0,
+        hca_loopback: 1.0,
+        cpu_latency: 1.0,
+        disk: 1.0,
+        overlap: 1.0,
+        kernel_launch: 1.0,
+    };
+
+    /// Combines two impacts multiplicatively.
+    pub fn combine(&self, other: &Self) -> Self {
+        Self {
+            compute: self.compute * other.compute,
+            hbm_bandwidth: self.hbm_bandwidth * other.hbm_bandwidth,
+            nvlink_bandwidth: self.nvlink_bandwidth * other.nvlink_bandwidth,
+            pcie_bandwidth: self.pcie_bandwidth * other.pcie_bandwidth,
+            network_bandwidth: self.network_bandwidth * other.network_bandwidth,
+            hca_loopback: self.hca_loopback * other.hca_loopback,
+            cpu_latency: self.cpu_latency * other.cpu_latency,
+            disk: self.disk * other.disk,
+            overlap: self.overlap * other.overlap,
+            kernel_launch: self.kernel_launch * other.kernel_launch,
+        }
+    }
+
+    /// Whether any path deviates from nominal.
+    pub fn is_noticeable(&self) -> bool {
+        *self != Self::NONE
+    }
+}
+
+impl Default for FaultImpact {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+fn keep(severity: f64) -> f64 {
+    (1.0 - severity).clamp(0.0, 1.0)
+}
+
+impl FaultKind {
+    /// Deterministic part of the fault's impact.
+    ///
+    /// [`FaultKind::RowRemapErrors`] and [`FaultKind::NvLinkLanesDown`]
+    /// return [`FaultImpact::NONE`] here; their effect depends on node
+    /// state (remap history, redundancy budget) and randomness, which
+    /// [`crate::NodeSim::inject_fault`] resolves.
+    pub fn base_impact(&self) -> FaultImpact {
+        let mut impact = FaultImpact::NONE;
+        match *self {
+            Self::GpuComputeDegraded { severity } => impact.compute = keep(severity),
+            Self::ThermalThrottle { severity } => {
+                // Throttling hits sustained compute and, mildly, HBM.
+                impact.compute = keep(severity);
+                impact.hbm_bandwidth = keep(severity * 0.3);
+            }
+            Self::GpuMemoryBandwidthDegraded { severity } => impact.hbm_bandwidth = keep(severity),
+            Self::RowRemapErrors { .. } => {}
+            Self::NvLinkLanesDown { .. } => {}
+            Self::PcieDowngrade { severity } => impact.pcie_bandwidth = keep(severity),
+            Self::IbLinkBer { severity } => {
+                impact.network_bandwidth = keep(severity);
+                impact.hca_loopback = keep(severity * 0.5);
+            }
+            Self::HcaDegraded { severity } => {
+                impact.hca_loopback = keep(severity);
+                impact.network_bandwidth = keep(severity * 0.8);
+            }
+            Self::CpuMemoryLatency { severity } => {
+                impact.cpu_latency = 1.0 / keep(severity).max(1e-3)
+            }
+            Self::DiskSlow { severity } => impact.disk = keep(severity),
+            Self::OverlapInterference { severity } => impact.overlap = keep(severity),
+            Self::KernelLaunchOverhead { severity } => {
+                impact.kernel_launch = 1.0 / keep(severity).max(1e-3)
+            }
+        }
+        impact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_all_faults() {
+        let faults = [
+            FaultKind::GpuComputeDegraded { severity: 0.1 },
+            FaultKind::ThermalThrottle { severity: 0.1 },
+            FaultKind::GpuMemoryBandwidthDegraded { severity: 0.1 },
+            FaultKind::RowRemapErrors {
+                correctable_errors: 12,
+            },
+            FaultKind::NvLinkLanesDown { lanes: 2 },
+            FaultKind::PcieDowngrade { severity: 0.5 },
+            FaultKind::IbLinkBer { severity: 0.3 },
+            FaultKind::HcaDegraded { severity: 0.3 },
+            FaultKind::CpuMemoryLatency { severity: 0.2 },
+            FaultKind::DiskSlow { severity: 0.4 },
+            FaultKind::OverlapInterference { severity: 0.25 },
+            FaultKind::KernelLaunchOverhead { severity: 0.5 },
+        ];
+        for fault in faults {
+            // Every fault maps to a category with a printable name.
+            assert!(!fault.category().name().is_empty());
+        }
+    }
+
+    #[test]
+    fn overlap_fault_touches_only_overlap_path() {
+        let impact = FaultKind::OverlapInterference { severity: 0.3 }.base_impact();
+        assert!((impact.overlap - 0.7).abs() < 1e-12);
+        assert_eq!(impact.compute, 1.0);
+        assert_eq!(impact.nvlink_bandwidth, 1.0);
+        assert_eq!(impact.network_bandwidth, 1.0);
+    }
+
+    #[test]
+    fn latency_faults_increase_latency_factors() {
+        let impact = FaultKind::CpuMemoryLatency { severity: 0.2 }.base_impact();
+        assert!(impact.cpu_latency > 1.2);
+        let launch = FaultKind::KernelLaunchOverhead { severity: 0.5 }.base_impact();
+        assert!((launch.kernel_launch - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impacts_combine_multiplicatively() {
+        let a = FaultKind::GpuComputeDegraded { severity: 0.2 }.base_impact();
+        let b = FaultKind::GpuComputeDegraded { severity: 0.5 }.base_impact();
+        let combined = a.combine(&b);
+        assert!((combined.compute - 0.4).abs() < 1e-12);
+        assert!(combined.is_noticeable());
+        assert!(!FaultImpact::NONE.is_noticeable());
+    }
+
+    #[test]
+    fn stateful_faults_have_no_base_impact() {
+        assert_eq!(
+            FaultKind::RowRemapErrors {
+                correctable_errors: 20
+            }
+            .base_impact(),
+            FaultImpact::NONE
+        );
+        assert_eq!(
+            FaultKind::NvLinkLanesDown { lanes: 3 }.base_impact(),
+            FaultImpact::NONE
+        );
+    }
+
+    #[test]
+    fn category_ordering_is_stable() {
+        assert_eq!(IncidentCategory::ALL.len(), 9);
+        let mut sorted = IncidentCategory::ALL;
+        sorted.sort();
+        assert_eq!(sorted, IncidentCategory::ALL);
+    }
+}

@@ -1,0 +1,179 @@
+//! Gradual wear: stochastic fault onset under sustained use.
+//!
+//! Section 2.2's core observation is that "continuous and repetitive use
+//! of redundant components will cause them to become problematic gradually".
+//! This module models that as a marked Poisson process: per stressed hour,
+//! each incident category has a small onset rate; when an onset fires, a
+//! concrete [`FaultKind`] is sampled and injected. Redundancy-masked
+//! faults (row remaps, NVLink lanes) accumulate silently before any
+//! benchmark moves — exactly the gray state validation exists to catch.
+
+use crate::fault::{FaultKind, IncidentCategory};
+use crate::node::NodeSim;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Per-category onset rates (events per stressed hour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearModel {
+    rates: Vec<(IncidentCategory, f64)>,
+}
+
+impl WearModel {
+    /// An Azure-like wear profile: one onset every ~200 stressed hours in
+    /// total, split across categories roughly like the Figure 1 mix.
+    pub fn azure_like() -> Self {
+        let total_rate = 1.0 / 200.0;
+        Self {
+            rates: vec![
+                (IncidentCategory::GpuCompute, 0.22 * total_rate),
+                (IncidentCategory::GpuMemory, 0.15 * total_rate),
+                (IncidentCategory::IbLink, 0.21 * total_rate),
+                (IncidentCategory::Nic, 0.08 * total_rate),
+                (IncidentCategory::NvLink, 0.06 * total_rate),
+                (IncidentCategory::Pcie, 0.05 * total_rate),
+                (IncidentCategory::CpuMemory, 0.07 * total_rate),
+                (IncidentCategory::Disk, 0.04 * total_rate),
+                (IncidentCategory::Software, 0.12 * total_rate),
+            ],
+        }
+    }
+
+    /// A profile scaled by `factor` (e.g. tropical data centers: the paper
+    /// saw 35× more degraded IB links there).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            rates: self.rates.iter().map(|&(c, r)| (c, r * factor)).collect(),
+        }
+    }
+
+    /// Total onset rate per stressed hour.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().map(|(_, r)| r).sum()
+    }
+
+    /// Samples a mild wear-grade fault for a category. Wear onsets are
+    /// *gradual*: severities start small, and redundancy-backed categories
+    /// consume redundancy first.
+    fn sample_onset(&self, category: IncidentCategory, rng: &mut ChaCha8Rng) -> FaultKind {
+        match category {
+            IncidentCategory::GpuCompute => FaultKind::ThermalThrottle {
+                severity: rng.random_range(0.02..0.12),
+            },
+            IncidentCategory::GpuMemory => {
+                // Wear shows up as remapped correctable errors first.
+                FaultKind::RowRemapErrors {
+                    correctable_errors: rng.random_range(1..6),
+                }
+            }
+            IncidentCategory::NvLink => FaultKind::NvLinkLanesDown {
+                lanes: rng.random_range(1..6),
+            },
+            IncidentCategory::IbLink => FaultKind::IbLinkBer {
+                severity: rng.random_range(0.05..0.25),
+            },
+            IncidentCategory::Nic => FaultKind::HcaDegraded {
+                severity: rng.random_range(0.05..0.25),
+            },
+            IncidentCategory::Pcie => FaultKind::PcieDowngrade {
+                severity: rng.random_range(0.2..0.5),
+            },
+            IncidentCategory::CpuMemory => FaultKind::CpuMemoryLatency {
+                severity: rng.random_range(0.05..0.2),
+            },
+            IncidentCategory::Disk => FaultKind::DiskSlow {
+                severity: rng.random_range(0.1..0.35),
+            },
+            IncidentCategory::Software => FaultKind::OverlapInterference {
+                severity: rng.random_range(0.05..0.2),
+            },
+        }
+    }
+
+    /// Advances a node by `hours` of stressed operation: time passes and
+    /// wear onsets are sampled and injected. Returns the faults injected.
+    pub fn advance(&self, node: &mut NodeSim, hours: f64, rng: &mut ChaCha8Rng) -> Vec<FaultKind> {
+        node.advance_hours(hours);
+        let mut injected = Vec::new();
+        for &(category, rate) in &self.rates {
+            // Poisson thinning: expected onsets = rate × hours; sample the
+            // count then the concrete faults.
+            let expected = rate * hours.max(0.0);
+            let mut count = 0u32;
+            // Inverse-CDF Poisson sampling (rates are tiny, counts small).
+            let mut cumulative = (-expected).exp();
+            let mut threshold = cumulative;
+            let u: f64 = rng.random();
+            while u > threshold && count < 50 {
+                count += 1;
+                cumulative *= expected / f64::from(count);
+                threshold += cumulative;
+            }
+            for _ in 0..count {
+                let fault = self.sample_onset(category, rng);
+                node.inject_fault(fault);
+                injected.push(fault);
+            }
+        }
+        injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeSpec;
+    use crate::NodeId;
+    use rand::SeedableRng;
+
+    #[test]
+    fn onset_volume_matches_rate() {
+        let model = WearModel::azure_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut total = 0usize;
+        let runs = 200;
+        for i in 0..runs {
+            let mut node = NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 1);
+            total += model.advance(&mut node, 400.0, &mut rng).len();
+        }
+        // Expected 2 onsets per node over 400 stressed hours.
+        let mean = total as f64 / f64::from(runs);
+        assert!((1.6..2.4).contains(&mean), "mean onsets {mean}");
+    }
+
+    #[test]
+    fn wear_is_mostly_hidden_at_first() {
+        let model = WearModel::azure_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut hidden = 0usize;
+        let mut visible = 0usize;
+        for i in 0..300 {
+            let mut node = NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 2);
+            model.advance(&mut node, 150.0, &mut rng);
+            if node.has_hidden_damage() && !node.has_detectable_defect() {
+                hidden += 1;
+            }
+            if node.has_detectable_defect() {
+                visible += 1;
+            }
+        }
+        assert!(hidden > 0, "some nodes must sit in the gray state");
+        assert!(visible > 0, "some wear must be benchmark-visible");
+    }
+
+    #[test]
+    fn tropical_scaling_multiplies_rates() {
+        let base = WearModel::azure_like();
+        let tropical = base.scaled(35.0);
+        assert!((tropical.total_rate() / base.total_rate() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_hours_injects_nothing() {
+        let model = WearModel::azure_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut node = NodeSim::new(NodeId(0), NodeSpec::a100_8x(), 1);
+        assert!(model.advance(&mut node, 0.0, &mut rng).is_empty());
+        assert_eq!(node.uptime_hours(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the hardware simulator.
+
+use anubis_hwsim::node::DiskMode;
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec, Precision};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = NodeSpec> {
+    prop::sample::select(vec![
+        NodeSpec::a100_8x(),
+        NodeSpec::h100_8x(),
+        NodeSpec::mi250x_8x(),
+    ])
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultKind> {
+    let severity = 0.01f64..0.8;
+    prop_oneof![
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::GpuComputeDegraded { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::ThermalThrottle { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::GpuMemoryBandwidthDegraded { severity: s }),
+        (1u32..60).prop_map(|c| FaultKind::RowRemapErrors {
+            correctable_errors: c
+        }),
+        (1u32..96).prop_map(|l| FaultKind::NvLinkLanesDown { lanes: l }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::PcieDowngrade { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::IbLinkBer { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::HcaDegraded { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::CpuMemoryLatency { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::DiskSlow { severity: s }),
+        severity
+            .clone()
+            .prop_map(|s| FaultKind::OverlapInterference { severity: s }),
+        severity.prop_map(|s| FaultKind::KernelLaunchOverhead { severity: s }),
+    ]
+}
+
+proptest! {
+    /// Every measurement stays finite and non-negative under any fault
+    /// combination — the invariant `Sample::new` depends on.
+    #[test]
+    fn measurements_always_well_formed(
+        spec in spec_strategy(),
+        faults in prop::collection::vec(fault_strategy(), 0..6),
+        seed in 0u64..500,
+    ) {
+        let mut node = NodeSim::new(NodeId(0), spec, seed);
+        for fault in faults {
+            node.inject_fault(fault);
+        }
+        let measurements = [
+            node.measure_gemm_tflops(Precision::Fp16, 4096),
+            node.measure_gemm_tflops(Precision::Fp32, 2048),
+            node.measure_kernel_launch_us(),
+            node.measure_h2d_gbps(),
+            node.measure_d2h_gbps(),
+            node.measure_gpu_copy_gbps(),
+            node.measure_nvlink_allreduce_gbps(32 << 20),
+            node.measure_hca_loopback_gbps(),
+            node.measure_ib_single_node_allreduce_gbps(),
+            node.measure_cpu_latency_ns(),
+            node.measure_disk(DiskMode::SeqRead),
+            node.measure_disk(DiskMode::RandWrite),
+            node.measure_gpu_burn_tflops(Precision::Fp16),
+            node.measure_overlap_matmul_allreduce_tflops(Precision::Fp16),
+            node.measure_sharding_matmul_tflops(Precision::Fp16),
+        ];
+        for (i, m) in measurements.iter().enumerate() {
+            prop_assert!(m.is_finite() && *m >= 0.0, "measurement {i}: {m}");
+        }
+    }
+
+    /// Throughput impacts compose monotonically: adding any fault never
+    /// *raises* a throughput factor and never lowers a latency factor.
+    #[test]
+    fn impacts_compose_monotonically(
+        base in prop::collection::vec(fault_strategy(), 0..4),
+        extra in fault_strategy(),
+        seed in 0u64..200,
+    ) {
+        let mut node = NodeSim::new(NodeId(1), NodeSpec::a100_8x(), seed);
+        for fault in base {
+            node.inject_fault(fault);
+        }
+        let before = *node.impact();
+        node.inject_fault(extra);
+        let after = *node.impact();
+        prop_assert!(after.compute <= before.compute + 1e-12);
+        prop_assert!(after.hbm_bandwidth <= before.hbm_bandwidth + 1e-12);
+        prop_assert!(after.nvlink_bandwidth <= before.nvlink_bandwidth + 1e-12);
+        prop_assert!(after.pcie_bandwidth <= before.pcie_bandwidth + 1e-12);
+        prop_assert!(after.network_bandwidth <= before.network_bandwidth + 1e-12);
+        prop_assert!(after.disk <= before.disk + 1e-12);
+        prop_assert!(after.overlap <= before.overlap + 1e-12);
+        prop_assert!(after.cpu_latency >= before.cpu_latency - 1e-12);
+        prop_assert!(after.kernel_launch >= before.kernel_launch - 1e-12);
+    }
+
+    /// repair_all is a total reset: no faults, no hidden damage, nominal
+    /// effective rates.
+    #[test]
+    fn repair_all_is_total(
+        faults in prop::collection::vec(fault_strategy(), 1..8),
+        seed in 0u64..200,
+    ) {
+        let reference = NodeSim::new(NodeId(2), NodeSpec::h100_8x(), seed);
+        let mut node = NodeSim::new(NodeId(2), NodeSpec::h100_8x(), seed);
+        for fault in faults {
+            node.inject_fault(fault);
+        }
+        node.repair_all();
+        prop_assert!(!node.has_detectable_defect());
+        prop_assert!(!node.has_hidden_damage());
+        prop_assert!(node.active_faults().is_empty());
+        prop_assert_eq!(
+            node.effective_tflops(Precision::Fp16),
+            reference.effective_tflops(Precision::Fp16)
+        );
+        prop_assert_eq!(node.effective_hbm_gbps(), reference.effective_hbm_gbps());
+        prop_assert_eq!(node.effective_nvlink_gbps(), reference.effective_nvlink_gbps());
+    }
+}

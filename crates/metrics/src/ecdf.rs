@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions.
+
+use crate::sample::Sample;
+
+/// Empirical CDF of a sample.
+///
+/// The CDF is the right-continuous step function
+/// `F(x) = |{ v in sample : v <= x }| / n`. The paper's criteria and defect
+/// filtering (Section 3.4) operate entirely in this distribution space
+/// instead of on average metrics, which is what gives the criteria their
+/// clear-cut margins.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_metrics::{Ecdf, Sample};
+///
+/// let sample = Sample::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+/// let cdf = Ecdf::new(&sample);
+/// assert_eq!(cdf.eval(0.5), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `sample`.
+    pub fn new(sample: &Sample) -> Self {
+        Self {
+            sorted: sample.sorted().to_vec(),
+        }
+    }
+
+    /// Number of underlying measurements.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no support points (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x)`, the fraction of measurements `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of values <= x because the
+        // predicate `v <= x` is monotone over the sorted slice.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The quantile function (generalized inverse CDF) for `p` in `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Smallest support point.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest support point.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sorted support points with duplicates removed, i.e. the breakpoints
+    /// of the step function.
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut points = self.sorted.clone();
+        points.dedup();
+        points
+    }
+
+    /// Merges the breakpoints of two ECDFs into one ascending, deduplicated
+    /// grid — the integration grid for the CDF-space distances.
+    pub fn merged_breakpoints(&self, other: &Ecdf) -> Vec<f64> {
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let (a, b) = (&self.sorted, &other.sorted);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x <= y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!("loop condition guarantees one side remains"),
+            };
+            if merged.last() != Some(&next) {
+                merged.push(next);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::Sample;
+
+    fn ecdf(values: &[f64]) -> Ecdf {
+        Ecdf::new(&Sample::new(values.to_vec()).unwrap())
+    }
+
+    #[test]
+    fn step_function_semantics() {
+        let cdf = ecdf(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(1.5), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.999), 0.75);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let cdf = ecdf(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.26), 20.0);
+        assert_eq!(cdf.quantile(0.5), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn breakpoints_dedup() {
+        let cdf = ecdf(&[2.0, 1.0, 2.0, 3.0]);
+        assert_eq!(cdf.breakpoints(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn merged_breakpoints_are_sorted_and_unique() {
+        let a = ecdf(&[1.0, 3.0, 5.0]);
+        let b = ecdf(&[2.0, 3.0, 6.0]);
+        assert_eq!(a.merged_breakpoints(&b), vec![1.0, 2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn merged_breakpoints_with_self() {
+        let a = ecdf(&[1.0, 2.0]);
+        assert_eq!(a.merged_breakpoints(&a), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_sample_cdf() {
+        let cdf = ecdf(&[7.0]);
+        assert_eq!(cdf.eval(6.9), 0.0);
+        assert_eq!(cdf.eval(7.0), 1.0);
+        assert_eq!(cdf.min(), 7.0);
+        assert_eq!(cdf.max(), 7.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types shared by the statistics substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+/// Errors raised by the statistics substrate.
+///
+/// Every fallible entry point in this crate returns [`MetricsError`] instead
+/// of panicking, so callers (the Validator, the Selector, the simulators) can
+/// surface malformed measurements as validation failures rather than crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// A sample with zero measurements was supplied where at least one value
+    /// is required.
+    EmptySample,
+    /// A measurement was NaN or infinite.
+    NonFinite { index: usize, value: f64 },
+    /// A measurement was negative where only non-negative metrics (latency,
+    /// throughput, bandwidth) are meaningful.
+    NegativeValue { index: usize, value: f64 },
+    /// An algorithm needs at least `required` data points but only `actual`
+    /// were supplied.
+    InsufficientData { required: usize, actual: usize },
+    /// Input vectors that must share a dimension did not.
+    DimensionMismatch { expected: usize, actual: usize },
+    /// A tuning parameter was outside its documented domain.
+    InvalidParameter { name: &'static str, message: String },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        algorithm: &'static str,
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptySample => write!(f, "sample contains no measurements"),
+            Self::NonFinite { index, value } => {
+                write!(f, "non-finite measurement {value} at index {index}")
+            }
+            Self::NegativeValue { index, value } => {
+                write!(f, "negative measurement {value} at index {index}")
+            }
+            Self::InsufficientData { required, actual } => {
+                write!(f, "need at least {required} data points, got {actual}")
+            }
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Self::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} did not converge within {iterations} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(MetricsError, &str)> = vec![
+            (MetricsError::EmptySample, "no measurements"),
+            (
+                MetricsError::NonFinite {
+                    index: 3,
+                    value: f64::NAN,
+                },
+                "index 3",
+            ),
+            (
+                MetricsError::NegativeValue {
+                    index: 1,
+                    value: -2.0,
+                },
+                "-2",
+            ),
+            (
+                MetricsError::InsufficientData {
+                    required: 4,
+                    actual: 1,
+                },
+                "at least 4",
+            ),
+            (
+                MetricsError::DimensionMismatch {
+                    expected: 2,
+                    actual: 5,
+                },
+                "expected 2",
+            ),
+            (
+                MetricsError::InvalidParameter {
+                    name: "k",
+                    message: "must be > 0".into(),
+                },
+                "`k`",
+            ),
+            (
+                MetricsError::NoConvergence {
+                    algorithm: "kmeans",
+                    iterations: 10,
+                },
+                "kmeans",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&MetricsError::EmptySample);
+    }
+}

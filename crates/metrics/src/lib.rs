@@ -1,0 +1,38 @@
+//! Statistics substrate for the ANUBIS proactive-validation system.
+//!
+//! This crate provides the mathematical core that the rest of the workspace
+//! builds on:
+//!
+//! - [`Sample`]: a validated container for benchmark measurements (a single
+//!   value from a micro-benchmark, or a step-throughput time series from an
+//!   end-to-end benchmark).
+//! - [`Ecdf`]: the empirical cumulative distribution function of a sample.
+//! - [`distance`]: the paper's Eq. (2) CDF-space distance, Eq. (3)
+//!   similarity, and Eq. (4) one-sided distance used for online defect
+//!   filtering.
+//! - [`outlier`]: the baseline outlier-detection methods the paper compares
+//!   against (IQR fences, k-means, Local Outlier Factor, one-class SVM).
+//! - [`seasonal`]: classical seasonal decomposition by moving averages and
+//!   period detection, the substrate for Appendix B's benchmark-parameter
+//!   search.
+//! - [`stats`]: descriptive statistics shared by everything above.
+//!
+//! All algorithms are deterministic given a seed and implemented in safe
+//! Rust.
+
+pub mod distance;
+pub mod ecdf;
+pub mod error;
+pub mod json;
+pub mod outlier;
+pub mod sample;
+pub mod seasonal;
+pub mod stats;
+
+pub use distance::{
+    cdf_distance, mean_pairwise_similarity, one_sided_distance, one_sided_similarity,
+    pairwise_similarity_matrix, similarity, Direction,
+};
+pub use ecdf::Ecdf;
+pub use error::{MetricsError, Result};
+pub use sample::Sample;

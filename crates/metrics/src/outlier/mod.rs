@@ -1,0 +1,18 @@
+//! Baseline outlier-detection methods the paper compares against.
+//!
+//! Section 2.3 (Figure 6) shows why off-the-shelf outlier detection makes a
+//! poor defect filter: the Local Outlier Factor marks low-density but healthy
+//! points as outliers, and the one-class SVM draws false-positive boundaries
+//! inside dense intervals. Section 5.3 (Figure 9) additionally compares the
+//! proposed criteria against IQR fences and k-means clustering. All four
+//! baselines are implemented here from scratch.
+
+pub mod iqr;
+pub mod kmeans;
+pub mod lof;
+pub mod ocsvm;
+
+pub use iqr::IqrFences;
+pub use kmeans::{KMeans, KMeansConfig};
+pub use lof::LocalOutlierFactor;
+pub use ocsvm::OneClassSvm;

@@ -1,0 +1,84 @@
+//! Property-based tests for the statistics substrate invariants.
+
+use anubis_metrics::outlier::{KMeans, KMeansConfig};
+use anubis_metrics::{cdf_distance, one_sided_distance, similarity, Direction, Ecdf, Sample};
+use proptest::prelude::*;
+
+/// Strategy: non-empty vectors of plausible benchmark measurements.
+fn measurements() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0e6, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn sample_orders_invariants(values in measurements()) {
+        let s = Sample::new(values.clone()).unwrap();
+        prop_assert_eq!(s.len(), values.len());
+        prop_assert!(s.sorted().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.min() <= s.median() && s.median() <= s.max());
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(values in measurements(), probe in 0.0f64..1.0e6) {
+        let s = Sample::new(values).unwrap();
+        let cdf = Ecdf::new(&s);
+        let f = cdf.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(cdf.eval(probe + 1.0) >= f);
+        prop_assert_eq!(cdf.eval(s.max()), 1.0);
+        prop_assert_eq!(cdf.eval(s.min() - 1.0), 0.0);
+    }
+
+    #[test]
+    fn distance_is_a_bounded_symmetric_semimetric(a in measurements(), b in measurements()) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let d_ab = cdf_distance(&sa, &sb);
+        let d_ba = cdf_distance(&sb, &sa);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(cdf_distance(&sa, &sa) < 1e-12);
+        prop_assert!((similarity(&sa, &sb) - (1.0 - d_ab)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sided_sides_partition_total(a in measurements(), b in measurements()) {
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let total = cdf_distance(&sa, &sb);
+        let worse = one_sided_distance(&sa, &sb, Direction::HigherIsBetter);
+        let better = one_sided_distance(&sa, &sb, Direction::LowerIsBetter);
+        prop_assert!(worse >= 0.0 && better >= 0.0);
+        prop_assert!(worse <= total + 1e-9);
+        prop_assert!(better <= total + 1e-9);
+        prop_assert!((worse + better - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_scaling_preserves_distance(values in measurements(), scale in 0.1f64..100.0) {
+        // Scale-invariance: the normalized distance depends only on relative
+        // shape, so scaling both samples by the same factor is a no-op.
+        let a = Sample::new(values.clone()).unwrap();
+        let b = Sample::new(values.iter().rev().cloned().collect()).unwrap();
+        let scaled_a = Sample::new(values.iter().map(|v| v * scale).collect()).unwrap();
+        let scaled_b =
+            Sample::new(values.iter().rev().map(|v| v * scale).collect()).unwrap();
+        let d = cdf_distance(&a, &b);
+        let d_scaled = cdf_distance(&scaled_a, &scaled_b);
+        prop_assert!((d - d_scaled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmeans_assigns_every_point(points in prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, 2), 4..32))
+    {
+        let model = KMeans::fit(&points, KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        prop_assert_eq!(model.assignments().len(), points.len());
+        prop_assert!(model.assignments().iter().all(|&a| a < 2));
+        prop_assert!(model.inertia() >= 0.0);
+        let majority = model.majority_cluster();
+        prop_assert!(model.members_of(majority).len() * 2 >= points.len());
+    }
+}

@@ -1,0 +1,473 @@
+//! Multilayer perceptron with manual backpropagation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (used on output layers).
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Self::Identity => x,
+            Self::Tanh => x.tanh(),
+            Self::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed through the *activated* value `y = f(x)`, which
+    /// is what the backward pass has cached.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Self::Identity => 1.0,
+            Self::Tanh => 1.0 - y * y,
+            Self::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// One dense layer: `y = f(W x + b)` with `W` stored row-major
+/// (`outputs × inputs`).
+#[derive(Debug, Clone)]
+struct Layer {
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+    activation: Activation,
+}
+
+impl Layer {
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
+            output.push(self.activation.apply(z));
+        }
+    }
+}
+
+/// Parameter-shaped gradient accumulator for an [`Mlp`].
+///
+/// Obtained from [`Mlp::zero_gradients`]; filled by [`Mlp::backward`] (which
+/// *adds* into it, so several backward passes accumulate naturally) and
+/// consumed by [`crate::Adam::step`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    pub(crate) weights: Vec<Vec<f64>>,
+    pub(crate) biases: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Resets all accumulated gradients to zero.
+    pub fn reset(&mut self) {
+        for layer in &mut self.weights {
+            layer.fill(0.0);
+        }
+        for layer in &mut self.biases {
+            layer.fill(0.0);
+        }
+    }
+
+    /// Scales all gradients, e.g. by `1/batch_size`.
+    pub fn scale(&mut self, factor: f64) {
+        for layer in &mut self.weights {
+            for g in layer.iter_mut() {
+                *g *= factor;
+            }
+        }
+        for layer in &mut self.biases {
+            for g in layer.iter_mut() {
+                *g *= factor;
+            }
+        }
+    }
+
+    /// Euclidean norm of the flattened gradient vector.
+    pub fn norm(&self) -> f64 {
+        let mut total = 0.0;
+        for layer in &self.weights {
+            total += layer.iter().map(|g| g * g).sum::<f64>();
+        }
+        for layer in &self.biases {
+            total += layer.iter().map(|g| g * g).sum::<f64>();
+        }
+        total.sqrt()
+    }
+}
+
+/// Cached activations of one forward pass, needed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i+1]` the output of layer
+    /// `i`.
+    activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// Network output of the cached pass.
+    pub fn output(&self) -> &[f64] {
+        self.activations
+            .last()
+            .expect("cache has at least the input layer")
+    }
+}
+
+/// A feed-forward network with dense layers.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_nn::{Activation, Mlp};
+///
+/// // 2 inputs -> 8 tanh -> 1 linear output.
+/// let mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, 42);
+/// let y = mlp.forward(&[0.5, -0.5]);
+/// assert_eq!(y.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes (`sizes[0]` inputs,
+    /// `sizes.last()` outputs), `hidden` activation on all but the last
+    /// layer, identity on the output, and Xavier-uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero; layer
+    /// shapes are a static property of the calling code, not runtime data.
+    pub fn new(sizes: &[usize], hidden: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (i, window) in sizes.windows(2).enumerate() {
+            let (inputs, outputs) = (window[0], window[1]);
+            let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+            let weights: Vec<f64> = (0..inputs * outputs)
+                .map(|_| rng.random_range(-limit..limit))
+                .collect();
+            let activation = if i == sizes.len() - 2 {
+                Activation::Identity
+            } else {
+                hidden
+            };
+            layers.push(Layer {
+                weights,
+                biases: vec![0.0; outputs],
+                inputs,
+                outputs,
+                activation,
+            });
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").outputs
+    }
+
+    /// Runs a forward pass and returns only the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match [`Mlp::input_dim`].
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_cached(input)
+            .activations
+            .pop()
+            .expect("non-empty")
+    }
+
+    /// Scalar-output convenience for risk networks.
+    pub fn forward_scalar(&self, input: &[f64]) -> f64 {
+        debug_assert_eq!(self.output_dim(), 1);
+        self.forward(input)[0]
+    }
+
+    /// Runs a forward pass keeping all intermediate activations for a later
+    /// [`Mlp::backward`] call.
+    pub fn forward_cached(&self, input: &[f64]) -> ForwardCache {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        let mut buffer = Vec::new();
+        for layer in &self.layers {
+            layer.forward(activations.last().expect("non-empty"), &mut buffer);
+            activations.push(buffer.clone());
+        }
+        ForwardCache { activations }
+    }
+
+    /// Allocates a zeroed gradient accumulator matching this network.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            weights: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.weights.len()])
+                .collect(),
+            biases: self
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.biases.len()])
+                .collect(),
+        }
+    }
+
+    /// Backpropagates `output_grad` (∂loss/∂output) through the cached pass,
+    /// **adding** parameter gradients into `grads`, and returns
+    /// ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad` does not match the output dimension or
+    /// `grads` was built for a different architecture.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        output_grad: &[f64],
+        grads: &mut Gradients,
+    ) -> Vec<f64> {
+        assert_eq!(
+            output_grad.len(),
+            self.output_dim(),
+            "output gradient mismatch"
+        );
+        let mut delta = output_grad.to_vec();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let output = &cache.activations[l + 1];
+            let input = &cache.activations[l];
+            // δ ← δ ⊙ f'(z), expressed through the activated outputs.
+            for (d, &y) in delta.iter_mut().zip(output) {
+                *d *= layer.activation.derivative_from_output(y);
+            }
+            let w_grad = &mut grads.weights[l];
+            let b_grad = &mut grads.biases[l];
+            assert_eq!(w_grad.len(), layer.weights.len(), "gradient shape mismatch");
+            let mut next_delta = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                b_grad[o] += delta[o];
+                let row = o * layer.inputs;
+                for i in 0..layer.inputs {
+                    w_grad[row + i] += delta[o] * input[i];
+                    next_delta[i] += delta[o] * layer.weights[row + i];
+                }
+            }
+            delta = next_delta;
+        }
+        delta
+    }
+
+    /// Flattens a gradient accumulator into the canonical parameter
+    /// order (layer by layer, weights then biases) — useful for
+    /// finite-difference verification and optimizer diagnostics.
+    pub fn flattened_gradients(grads: &Gradients) -> Vec<f64> {
+        Self::flatten_gradients(grads).collect()
+    }
+
+    /// Adds `delta` to the parameter at flattened `index` (same order as
+    /// [`Mlp::flattened_gradients`]); a no-op for out-of-range indices.
+    pub fn perturb_parameter(&mut self, index: usize, delta: f64) {
+        self.for_each_parameter(|i, value| {
+            if i == index {
+                *value += delta;
+            }
+        });
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// Applies an in-place update `θ ← θ + update(θ_index)`, visiting
+    /// parameters layer by layer (weights then biases). Used by optimizers.
+    pub(crate) fn for_each_parameter(&mut self, mut update: impl FnMut(usize, &mut f64)) {
+        let mut index = 0;
+        for layer in &mut self.layers {
+            for w in &mut layer.weights {
+                update(index, w);
+                index += 1;
+            }
+            for b in &mut layer.biases {
+                update(index, b);
+                index += 1;
+            }
+        }
+    }
+
+    /// Iterates gradients in the same flattened order as
+    /// [`Mlp::for_each_parameter`].
+    pub(crate) fn flatten_gradients(grads: &Gradients) -> impl Iterator<Item = f64> + '_ {
+        grads
+            .weights
+            .iter()
+            .zip(&grads.biases)
+            .flat_map(|(w, b)| w.iter().chain(b.iter()).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, 1);
+        assert_eq!(mlp.input_dim(), 3);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.forward(&[0.1, 0.2, 0.3]).len(), 2);
+        assert_eq!(mlp.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Relu, 9);
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, 9);
+        assert_eq!(a.forward(&[0.3, -0.7]), b.forward(&[0.3, -0.7]));
+        let c = Mlp::new(&[2, 4, 1], Activation::Relu, 10);
+        assert_ne!(a.forward(&[0.3, -0.7]), c.forward(&[0.3, -0.7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn rejects_wrong_input_dim() {
+        let mlp = Mlp::new(&[3, 1], Activation::Tanh, 0);
+        mlp.forward(&[1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mlp = Mlp::new(&[2, 6, 1], Activation::Tanh, 3);
+        let input = [0.4, -0.9];
+        // Loss = 0.5 * y^2 so dLoss/dy = y.
+        let cache = mlp.forward_cached(&input);
+        let y = cache.output()[0];
+        let mut grads = mlp.zero_gradients();
+        mlp.backward(&cache, &[y], &mut grads);
+        let analytic: Vec<f64> = Mlp::flatten_gradients(&grads).collect();
+
+        let eps = 1e-6;
+        let mut numeric = Vec::with_capacity(analytic.len());
+        for p in 0..mlp.parameter_count() {
+            let loss_at = |mlp: &Mlp| {
+                let out = mlp.forward(&input)[0];
+                0.5 * out * out
+            };
+            let mut plus = mlp.clone();
+            plus.for_each_parameter(|i, v| {
+                if i == p {
+                    *v += eps;
+                }
+            });
+            let mut minus = mlp.clone();
+            minus.for_each_parameter(|i, v| {
+                if i == p {
+                    *v -= eps;
+                }
+            });
+            numeric.push((loss_at(&plus) - loss_at(&minus)) / (2.0 * eps));
+        }
+        for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
+            assert!(
+                (a - n).abs() < 1e-5,
+                "parameter {i}: analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, 5);
+        let input = [0.2, 0.7];
+        let cache = mlp.forward_cached(&input);
+        let y = cache.output()[0];
+        let mut grads = mlp.zero_gradients();
+        let input_grad = mlp.backward(&cache, &[y], &mut grads);
+
+        let eps = 1e-6;
+        for d in 0..2 {
+            let mut plus = input;
+            plus[d] += eps;
+            let mut minus = input;
+            minus[d] -= eps;
+            let loss = |x: &[f64]| {
+                let out = mlp.forward(x)[0];
+                0.5 * out * out
+            };
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!(
+                (input_grad[d] - numeric).abs() < 1e-5,
+                "input dim {d}: analytic {} vs numeric {numeric}",
+                input_grad[d]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mlp = Mlp::new(&[1, 3, 1], Activation::Relu, 2);
+        let cache = mlp.forward_cached(&[0.5]);
+        let mut once = mlp.zero_gradients();
+        mlp.backward(&cache, &[1.0], &mut once);
+        let mut twice = mlp.zero_gradients();
+        mlp.backward(&cache, &[1.0], &mut twice);
+        mlp.backward(&cache, &[1.0], &mut twice);
+        let a: Vec<f64> = Mlp::flatten_gradients(&once).collect();
+        let b: Vec<f64> = Mlp::flatten_gradients(&twice).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((2.0 * x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradients_reset_and_scale() {
+        let mlp = Mlp::new(&[1, 2, 1], Activation::Tanh, 0);
+        let cache = mlp.forward_cached(&[1.0]);
+        let mut grads = mlp.zero_gradients();
+        mlp.backward(&cache, &[1.0], &mut grads);
+        assert!(grads.norm() > 0.0);
+        grads.scale(0.0);
+        assert_eq!(grads.norm(), 0.0);
+        mlp.backward(&cache, &[1.0], &mut grads);
+        grads.reset();
+        assert_eq!(grads.norm(), 0.0);
+    }
+
+    #[test]
+    fn relu_activation_clamps() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(3.0), 1.0);
+    }
+}

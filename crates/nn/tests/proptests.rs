@@ -1,0 +1,93 @@
+//! Property-based tests for the neural-network substrate.
+
+use anubis_nn::{Activation, Adam, Mlp, StandardScaler};
+use proptest::prelude::*;
+
+fn architecture() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..4, 1usize..12, 1usize..3)
+        .prop_map(|(input, hidden, output)| vec![input, hidden, output])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Analytic gradients match finite differences on random
+    /// architectures, activations, inputs and seeds.
+    #[test]
+    fn gradients_match_finite_differences(
+        sizes in architecture(),
+        tanh in any::<bool>(),
+        seed in 0u64..200,
+        x in prop::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let activation = if tanh { Activation::Tanh } else { Activation::Relu };
+        let mlp = Mlp::new(&sizes, activation, seed);
+        let input = &x[..sizes[0]];
+        // Loss: 0.5 * Σ y².
+        let loss = |net: &Mlp| -> f64 {
+            net.forward(input).iter().map(|y| 0.5 * y * y).sum()
+        };
+        let cache = mlp.forward_cached(input);
+        let output_grad: Vec<f64> = cache.output().to_vec();
+        let mut grads = mlp.zero_gradients();
+        mlp.backward(&cache, &output_grad, &mut grads);
+        let analytic: Vec<f64> = Mlp::flattened_gradients(&grads);
+
+        let eps = 1e-6;
+        for p in 0..mlp.parameter_count() {
+            let mut plus = mlp.clone();
+            plus.perturb_parameter(p, eps);
+            let mut minus = mlp.clone();
+            minus.perturb_parameter(p, -eps);
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            // ReLU kinks make finite differences locally inexact; allow a
+            // loose bound there and a tight one for tanh.
+            let tolerance: f64 = if tanh { 1e-4 } else { 2e-3 };
+            prop_assert!(
+                (analytic[p] - numeric).abs() <= tolerance.max(numeric.abs() * 1e-3),
+                "param {p}: analytic {} vs numeric {numeric}",
+                analytic[p]
+            );
+        }
+    }
+
+    /// Training with Adam on a constant target always reduces the loss.
+    #[test]
+    fn adam_reduces_constant_target_loss(seed in 0u64..100, target in -3.0f64..3.0) {
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Tanh, seed);
+        let mut adam = Adam::new(&mlp, 1e-2);
+        let loss = |net: &Mlp| {
+            let y = net.forward_scalar(&[0.5]);
+            0.5 * (y - target) * (y - target)
+        };
+        let initial = loss(&mlp);
+        for _ in 0..200 {
+            let cache = mlp.forward_cached(&[0.5]);
+            let err = cache.output()[0] - target;
+            let mut grads = mlp.zero_gradients();
+            mlp.backward(&cache, &[err], &mut grads);
+            adam.step(&mut mlp, &grads);
+        }
+        prop_assert!(loss(&mlp) <= initial.max(1e-8), "{} -> {}", initial, loss(&mlp));
+        prop_assert!(loss(&mlp) < 0.05, "converges near the target: {}", loss(&mlp));
+    }
+
+    /// Scaler round-trip: transformed features have near-zero mean and
+    /// near-unit variance for arbitrary data.
+    #[test]
+    fn scaler_standardizes(rows in prop::collection::vec(
+        prop::collection::vec(-1000.0f64..1000.0, 3), 4..40))
+    {
+        let scaler = StandardScaler::fit(&rows);
+        let transformed = scaler.transform_all(&rows);
+        for d in 0..3 {
+            let n = transformed.len() as f64;
+            let mean: f64 = transformed.iter().map(|r| r[d]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "dim {d} mean {mean}");
+            let var: f64 = transformed.iter().map(|r| r[d] * r[d]).sum::<f64>() / n;
+            // Constant columns standardize to zero (variance 0), others
+            // to 1.
+            prop_assert!(var < 1.0 + 1e-6, "dim {d} var {var}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Historical defect coverage per benchmark.
+
+use anubis_benchsuite::BenchmarkId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which historical defects each benchmark identified.
+///
+/// Algorithm 1 defines a subset's coverage `C` as the fraction of all
+/// historically-identified defective nodes the subset would have caught —
+/// overlapping sets counted once (the paper's `{B₁, B₂}` example).
+///
+/// # Examples
+///
+/// ```
+/// use anubis_benchsuite::BenchmarkId;
+/// use anubis_selector::CoverageTable;
+///
+/// let mut table = CoverageTable::new();
+/// table.record(BenchmarkId::IbHcaLoopback, 1);
+/// table.record(BenchmarkId::IbHcaLoopback, 2);
+/// table.record(BenchmarkId::GpuGemmFp16, 2);
+/// table.record(BenchmarkId::GpuGemmFp16, 3);
+/// // Union {1,2} ∪ {2,3} = 3 of 3 defects.
+/// let subset = [BenchmarkId::IbHcaLoopback, BenchmarkId::GpuGemmFp16];
+/// assert_eq!(table.coverage(&subset), 1.0);
+/// assert!((table.coverage(&[BenchmarkId::IbHcaLoopback]) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CoverageTable {
+    defects_by_benchmark: BTreeMap<BenchmarkId, BTreeSet<u64>>,
+    all_defects: BTreeSet<u64>,
+}
+
+impl CoverageTable {
+    /// An empty table (no history yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `benchmark` identified defect instance `defect_id`.
+    ///
+    /// Defect ids identify *defect occurrences* (e.g. node × validation),
+    /// so the same node failing twice counts as two instances.
+    pub fn record(&mut self, benchmark: BenchmarkId, defect_id: u64) {
+        self.defects_by_benchmark
+            .entry(benchmark)
+            .or_default()
+            .insert(defect_id);
+        self.all_defects.insert(defect_id);
+    }
+
+    /// Total historical defect instances.
+    pub fn total_defects(&self) -> usize {
+        self.all_defects.len()
+    }
+
+    /// Defects attributed to one benchmark.
+    pub fn defects_of(&self, benchmark: BenchmarkId) -> usize {
+        self.defects_by_benchmark
+            .get(&benchmark)
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Coverage of a benchmark subset: `|union of their defect sets| /
+    /// |all defects|`. Returns 0 with no history (conservative: an unknown
+    /// subset prevents nothing).
+    pub fn coverage(&self, subset: &[BenchmarkId]) -> f64 {
+        if self.all_defects.is_empty() {
+            return 0.0;
+        }
+        let mut covered: BTreeSet<u64> = BTreeSet::new();
+        for bench in subset {
+            if let Some(set) = self.defects_by_benchmark.get(bench) {
+                covered.extend(set);
+            }
+        }
+        covered.len() as f64 / self.all_defects.len() as f64
+    }
+
+    /// Marginal defects a benchmark adds on top of a subset.
+    pub fn marginal_coverage(&self, subset: &[BenchmarkId], candidate: BenchmarkId) -> f64 {
+        let mut with = subset.to_vec();
+        with.push(candidate);
+        self.coverage(&with) - self.coverage(subset)
+    }
+
+    /// Per-benchmark defect share (for Table 6-style reporting), sorted
+    /// descending.
+    pub fn defect_shares(&self) -> Vec<(BenchmarkId, f64)> {
+        if self.all_defects.is_empty() {
+            return Vec::new();
+        }
+        let total = self.all_defects.len() as f64;
+        let mut shares: Vec<(BenchmarkId, f64)> = self
+            .defects_by_benchmark
+            .iter()
+            .map(|(&b, set)| (b, set.len() as f64 / total))
+            .collect();
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_covers_nothing() {
+        let table = CoverageTable::new();
+        assert_eq!(table.coverage(&[BenchmarkId::GpuGemmFp16]), 0.0);
+        assert_eq!(table.total_defects(), 0);
+        assert!(table.defect_shares().is_empty());
+    }
+
+    #[test]
+    fn paper_example_overlap() {
+        // B identified 10 defects; B1 found {1,2} (C=0.2), B2 found
+        // {2,3,4} (C=0.3); together they cover 4 => C=0.4.
+        let mut table = CoverageTable::new();
+        for d in 1..=10u64 {
+            table.record(BenchmarkId::GpuStress, d); // the rest of B
+        }
+        table.record(BenchmarkId::IbHcaLoopback, 1);
+        table.record(BenchmarkId::IbHcaLoopback, 2);
+        for d in [2u64, 3, 4] {
+            table.record(BenchmarkId::GpuGemmFp16, d);
+        }
+        assert!((table.coverage(&[BenchmarkId::IbHcaLoopback]) - 0.2).abs() < 1e-12);
+        assert!((table.coverage(&[BenchmarkId::GpuGemmFp16]) - 0.3).abs() < 1e-12);
+        assert!(
+            (table.coverage(&[BenchmarkId::IbHcaLoopback, BenchmarkId::GpuGemmFp16]) - 0.4).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn marginal_coverage_accounts_for_overlap() {
+        let mut table = CoverageTable::new();
+        table.record(BenchmarkId::IbHcaLoopback, 1);
+        table.record(BenchmarkId::IbHcaLoopback, 2);
+        table.record(BenchmarkId::GpuGemmFp16, 2);
+        let marginal =
+            table.marginal_coverage(&[BenchmarkId::IbHcaLoopback], BenchmarkId::GpuGemmFp16);
+        assert_eq!(marginal, 0.0, "defect 2 already covered");
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_subset() {
+        let mut table = CoverageTable::new();
+        table.record(BenchmarkId::CpuLatency, 1);
+        table.record(BenchmarkId::DiskSeqRead, 2);
+        table.record(BenchmarkId::GpuBurn, 3);
+        let c1 = table.coverage(&[BenchmarkId::CpuLatency]);
+        let c2 = table.coverage(&[BenchmarkId::CpuLatency, BenchmarkId::DiskSeqRead]);
+        let c3 = table.coverage(&[
+            BenchmarkId::CpuLatency,
+            BenchmarkId::DiskSeqRead,
+            BenchmarkId::GpuBurn,
+        ]);
+        assert!(c1 < c2 && c2 < c3);
+        assert_eq!(c3, 1.0);
+    }
+
+    #[test]
+    fn shares_sort_descending() {
+        let mut table = CoverageTable::new();
+        for d in 0..5u64 {
+            table.record(BenchmarkId::IbHcaLoopback, d);
+        }
+        table.record(BenchmarkId::CpuLatency, 100);
+        let shares = table.defect_shares();
+        assert_eq!(shares[0].0, BenchmarkId::IbHcaLoopback);
+        assert!(shares[0].1 > shares[1].1);
+    }
+}

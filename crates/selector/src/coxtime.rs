@@ -1,0 +1,409 @@
+//! The Cox-Time survival model (Kvamme, Borgan & Scheel, 2019).
+//!
+//! Cox-Time is a relative-risk model `h(t|x) = h₀(t)·exp(g(t, x))` whose
+//! risk function `g` is a neural network taking *both* the time and the
+//! covariates, so the proportional-hazards assumption is dropped — exactly
+//! what degrading GPU nodes need (their failure rate changes with time).
+//!
+//! The original system trains this through PyCox; here it is implemented
+//! from scratch on [`anubis_nn`]:
+//!
+//! - training minimizes the case-control approximation of the partial
+//!   likelihood: for each event `i` with sampled controls `j ∈ R(tᵢ)`,
+//!   `loss = ln(1 + Σⱼ exp(g(tᵢ,xⱼ) − g(tᵢ,xᵢ)))`;
+//! - the baseline cumulative hazard uses the Breslow estimator on a
+//!   bucketed event-time grid;
+//! - survival prediction is `S(t|x) = exp(−Σ_{tᵢ≤t} ΔH₀(tᵢ)·e^{g(tᵢ,x)})`.
+
+use crate::status::NodeStatus;
+use crate::survival::{SurvivalModel, SurvivalSample, TBNI_CAP_HOURS};
+use anubis_nn::{Activation, Adam, Mlp, StandardScaler};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Training configuration for [`CoxTimeModel::fit`].
+#[derive(Debug, Clone)]
+pub struct CoxTimeConfig {
+    /// Hidden-layer widths of the risk network.
+    pub hidden: Vec<usize>,
+    /// Training epochs over the event set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Sampled controls per event (the case-control approximation).
+    pub controls_per_event: usize,
+    /// Mini-batch size in events.
+    pub batch_size: usize,
+    /// Number of Breslow grid buckets.
+    pub baseline_buckets: usize,
+    /// Decoupled weight decay (AdamW-style regularization).
+    pub weight_decay: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoxTimeConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![32, 32],
+            epochs: 40,
+            learning_rate: 2e-3,
+            controls_per_event: 4,
+            batch_size: 32,
+            baseline_buckets: 96,
+            weight_decay: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted Cox-Time model.
+#[derive(Debug, Clone)]
+pub struct CoxTimeModel {
+    net: Mlp,
+    scaler: StandardScaler,
+    time_scale: f64,
+    /// Ascending `(event time, ΔH₀)` pairs from the Breslow estimator.
+    baseline: Vec<(f64, f64)>,
+}
+
+impl CoxTimeModel {
+    /// Trains on survival samples (events and censored rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` contains no events; the caller (trace pipeline)
+    /// guarantees event data.
+    pub fn fit(samples: &[SurvivalSample], config: &CoxTimeConfig) -> Self {
+        let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
+        let scaler = StandardScaler::fit(&features);
+        let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
+        let time_scale = samples
+            .iter()
+            .map(|s| s.duration)
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        // Sort sample indices by duration ascending: the risk set of an
+        // event is then a suffix.
+        let mut by_duration: Vec<usize> = (0..samples.len()).collect();
+        by_duration.sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
+        let rank_of: Vec<usize> = {
+            let mut rank = vec![0usize; samples.len()];
+            for (r, &i) in by_duration.iter().enumerate() {
+                rank[i] = r;
+            }
+            rank
+        };
+        let events: Vec<usize> = (0..samples.len()).filter(|&i| samples[i].event).collect();
+        assert!(!events.is_empty(), "Cox-Time needs at least one event");
+
+        let input_dim = 1 + scaler.dim();
+        let mut sizes = vec![input_dim];
+        sizes.extend(&config.hidden);
+        sizes.push(1);
+        let mut net = Mlp::new(&sizes, Activation::Tanh, config.seed);
+        let mut adam = Adam::new(&net, config.learning_rate).with_weight_decay(config.weight_decay);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed);
+
+        let net_input = |t: f64, x: &[f64]| -> Vec<f64> {
+            let mut input = Vec::with_capacity(1 + x.len());
+            input.push(t / time_scale);
+            input.extend_from_slice(x);
+            input
+        };
+
+        let mut order = events.clone();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(config.batch_size.max(1)) {
+                let mut grads = net.zero_gradients();
+                let mut batch_events = 0usize;
+                for &i in batch {
+                    let t_i = samples[i].duration;
+                    // Controls: uniform from the risk-set suffix.
+                    let suffix_start = rank_of[i];
+                    let suffix_len = samples.len() - suffix_start;
+                    if suffix_len < 2 {
+                        continue;
+                    }
+                    let mut controls = Vec::with_capacity(config.controls_per_event);
+                    for _ in 0..config.controls_per_event {
+                        let pick = by_duration[suffix_start + rng.random_range(0..suffix_len)];
+                        if pick != i {
+                            controls.push(pick);
+                        }
+                    }
+                    if controls.is_empty() {
+                        continue;
+                    }
+                    batch_events += 1;
+                    let cache_i = net.forward_cached(&net_input(t_i, &scaled[i]));
+                    let g_i = cache_i.output()[0];
+                    let caches: Vec<_> = controls
+                        .iter()
+                        .map(|&j| net.forward_cached(&net_input(t_i, &scaled[j])))
+                        .collect();
+                    // Softplus-style loss: ln(1 + Σ exp(g_j − g_i)).
+                    let exps: Vec<f64> =
+                        caches.iter().map(|c| (c.output()[0] - g_i).exp()).collect();
+                    let denom = 1.0 + exps.iter().sum::<f64>();
+                    net.backward(&cache_i, &[-(denom - 1.0) / denom], &mut grads);
+                    for (cache, &e) in caches.iter().zip(&exps) {
+                        net.backward(cache, &[e / denom], &mut grads);
+                    }
+                }
+                if batch_events > 0 {
+                    grads.scale(1.0 / batch_events as f64);
+                    adam.step(&mut net, &grads);
+                }
+            }
+        }
+
+        // Breslow baseline hazard on a bucketed event-time grid. Buckets
+        // are kept small and anchored at their median event time so the
+        // risk-set size is representative of the deaths inside (a coarse
+        // bucket anchored at its first event systematically understates
+        // late hazards).
+        let mut event_times: Vec<f64> = events.iter().map(|&i| samples[i].duration).collect();
+        event_times.sort_by(f64::total_cmp);
+        let buckets = config.baseline_buckets.max(1).min(event_times.len());
+        let per_bucket = event_times.len().div_ceil(buckets);
+        let mut baseline = Vec::with_capacity(buckets);
+        let mut k = 0usize;
+        while k < event_times.len() {
+            let end = (k + per_bucket).min(event_times.len());
+            let t_bucket = event_times[end - 1];
+            let t_mid = event_times[(k + end - 1) / 2];
+            let deaths = (end - k) as f64;
+            // Risk set: samples still at risk at the bucket's median
+            // event.
+            let start_rank = by_duration.partition_point(|&i| samples[i].duration < t_mid);
+            let risk_sum: f64 = by_duration[start_rank..]
+                .iter()
+                .map(|&j| net.forward_scalar(&net_input(t_mid, &scaled[j])).exp())
+                .sum();
+            let delta = if risk_sum > 0.0 {
+                deaths / risk_sum
+            } else {
+                0.0
+            };
+            baseline.push((t_bucket, delta));
+            k = end;
+        }
+
+        Self {
+            net,
+            scaler,
+            time_scale,
+            baseline,
+        }
+    }
+
+    /// The risk score `g(t, x)` for a status at time `t`.
+    pub fn log_risk(&self, status: &NodeStatus, t: f64) -> f64 {
+        let x = self.scaler.transform(&status.features());
+        let mut input = Vec::with_capacity(1 + x.len());
+        input.push(t / self.time_scale);
+        input.extend(x);
+        self.net.forward_scalar(&input)
+    }
+
+    /// Survival probability `S(t|x)`.
+    pub fn survival(&self, status: &NodeStatus, t: f64) -> f64 {
+        let mut cumulative = 0.0;
+        for &(time, delta) in &self.baseline {
+            if time > t {
+                break;
+            }
+            cumulative += delta * self.log_risk(status, time).exp();
+        }
+        (-cumulative).exp()
+    }
+
+    /// The fitted Breslow grid (for diagnostics).
+    pub fn baseline(&self) -> &[(f64, f64)] {
+        &self.baseline
+    }
+}
+
+impl SurvivalModel for CoxTimeModel {
+    fn expected_tbni(&self, status: &NodeStatus) -> f64 {
+        // ∫₀^cap S(t|x) dt over the piecewise-constant survival curve.
+        let mut integral = 0.0;
+        let mut prev_t = 0.0;
+        let mut survival = 1.0;
+        let mut last_rate = 0.0;
+        for &(time, delta) in &self.baseline {
+            let t = time.min(TBNI_CAP_HOURS);
+            if t > prev_t {
+                integral += survival * (t - prev_t);
+                last_rate = delta * self.log_risk(status, time).exp() / (t - prev_t);
+                prev_t = t;
+            }
+            survival *= (-delta * self.log_risk(status, time).exp()).exp();
+            if prev_t >= TBNI_CAP_HOURS {
+                break;
+            }
+        }
+        if prev_t < TBNI_CAP_HOURS {
+            // Beyond the last observed event time, extrapolate the hazard
+            // at the tail rate instead of freezing survival (which would
+            // systematically inflate predictions toward the cap).
+            let remaining = TBNI_CAP_HOURS - prev_t;
+            if last_rate > 1e-12 {
+                integral += survival * (1.0 - (-last_rate * remaining).exp()) / last_rate;
+            } else {
+                integral += survival * remaining;
+            }
+        }
+        integral.min(TBNI_CAP_HOURS)
+    }
+
+    fn incident_probability(&self, status: &NodeStatus, horizon: f64) -> f64 {
+        (1.0 - self.survival(status, horizon.max(0.0))).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anubis_hwsim::fault::IncidentCategory;
+    use anubis_hwsim::noise::exponential;
+
+    /// Two node populations: healthy (few incidents, long TBNI) and worn
+    /// (many incidents, short TBNI).
+    fn synthetic_samples(n: usize, seed: u64) -> Vec<SurvivalSample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        for k in 0..n {
+            let worn = k % 2 == 1;
+            let mut status = NodeStatus::fresh();
+            status.advance(200.0 + rng.random_range(0.0..400.0));
+            let incidents = if worn {
+                8 + (k % 5) as u32
+            } else {
+                (k % 2) as u32
+            };
+            for _ in 0..incidents {
+                status.record_incident(IncidentCategory::GpuCompute);
+            }
+            status.hours_since_last_incident = rng.random_range(0.0..50.0);
+            let mean = if worn { 60.0 } else { 700.0 };
+            let duration = exponential(&mut rng, 1.0 / mean).min(2400.0);
+            samples.push(SurvivalSample {
+                status,
+                duration,
+                event: true,
+            });
+        }
+        samples
+    }
+
+    fn quick_config() -> CoxTimeConfig {
+        CoxTimeConfig {
+            epochs: 12,
+            hidden: vec![16, 16],
+            baseline_buckets: 32,
+            ..Default::default()
+        }
+    }
+
+    fn worn_status() -> NodeStatus {
+        let mut s = NodeStatus::fresh();
+        s.advance(400.0);
+        for _ in 0..10 {
+            s.record_incident(IncidentCategory::GpuCompute);
+        }
+        s
+    }
+
+    fn healthy_status() -> NodeStatus {
+        let mut s = NodeStatus::fresh();
+        s.advance(400.0);
+        s
+    }
+
+    #[test]
+    fn learns_to_separate_populations() {
+        let samples = synthetic_samples(400, 1);
+        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let healthy_tbni = model.expected_tbni(&healthy_status());
+        let worn_tbni = model.expected_tbni(&worn_status());
+        assert!(
+            healthy_tbni > 2.0 * worn_tbni,
+            "healthy {healthy_tbni} vs worn {worn_tbni}"
+        );
+        assert!(
+            model.incident_probability(&worn_status(), 48.0)
+                > model.incident_probability(&healthy_status(), 48.0)
+        );
+    }
+
+    #[test]
+    fn survival_curve_is_a_valid_survival_function() {
+        let samples = synthetic_samples(200, 2);
+        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let status = healthy_status();
+        assert!((model.survival(&status, 0.0) - 1.0).abs() < 1e-9);
+        let mut last = 1.0;
+        for t in [10.0, 50.0, 200.0, 800.0, 2400.0] {
+            let s = model.survival(&status, t);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= last + 1e-12, "monotone non-increasing");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn probability_bounds_and_monotonicity() {
+        let samples = synthetic_samples(200, 3);
+        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let status = worn_status();
+        let mut last = 0.0;
+        for h in [0.0, 6.0, 24.0, 120.0, 1000.0] {
+            let p = model.incident_probability(&status, h);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn beats_global_exponential_on_heterogeneous_data() {
+        use crate::survival::{model_accuracy, ExponentialModel};
+        let train = synthetic_samples(400, 4);
+        let test = synthetic_samples(120, 5);
+        let cox = CoxTimeModel::fit(&train, &quick_config());
+        let exp = ExponentialModel::fit(&train);
+        let acc_cox = model_accuracy(&cox, &test);
+        let acc_exp = model_accuracy(&exp, &test);
+        assert!(
+            acc_cox > acc_exp,
+            "Cox-Time {acc_cox} must beat exponential {acc_exp}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn rejects_event_free_training_data() {
+        let mut samples = synthetic_samples(10, 6);
+        for s in &mut samples {
+            s.event = false;
+        }
+        CoxTimeModel::fit(&samples, &quick_config());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = synthetic_samples(100, 7);
+        let a = CoxTimeModel::fit(&samples, &quick_config());
+        let b = CoxTimeModel::fit(&samples, &quick_config());
+        assert_eq!(
+            a.expected_tbni(&healthy_status()),
+            b.expected_tbni(&healthy_status())
+        );
+    }
+}

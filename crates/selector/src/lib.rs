@@ -1,0 +1,29 @@
+//! The ANUBIS Selector (paper Section 3.3).
+//!
+//! The Selector decides *when* to validate and *which* benchmark subset to
+//! run:
+//!
+//! - [`status`]: node status covariates (uptime, incident history, MTBI per
+//!   category) — the survival models' feature vector;
+//! - [`survival`]: the survival-model interface, the three exponential
+//!   baselines from Table 3, and the TBNI accuracy metric;
+//! - [`coxtime`]: the Cox-Time model (Kvamme et al.) — an MLP relative-risk
+//!   function `g(t, x)` trained with a case-control partial likelihood plus
+//!   a Breslow baseline hazard;
+//! - [`coverage`]: historical defect-coverage bookkeeping per benchmark;
+//! - [`select`]: Algorithm 1 — greedy Δp/t benchmark selection.
+
+pub mod coverage;
+pub mod coxtime;
+pub mod select;
+pub mod status;
+pub mod survival;
+
+pub use coverage::CoverageTable;
+pub use coxtime::{CoxTimeConfig, CoxTimeModel};
+pub use select::{select_benchmarks, Selector, SelectorConfig};
+pub use status::NodeStatus;
+pub use survival::{
+    concordance_index, model_accuracy, ExponentialModel, ExponentialPerCountModel,
+    ExponentialPerHourModel, SurvivalModel, SurvivalSample, TBNI_CAP_HOURS,
+};

@@ -1,0 +1,342 @@
+//! Greedy benchmark selection (paper Algorithm 1).
+
+use crate::coverage::CoverageTable;
+use crate::status::NodeStatus;
+use crate::survival::SurvivalModel;
+use anubis_benchsuite::BenchmarkId;
+
+/// Joint probability that at least one node in the set has an incident
+/// within `horizon` hours: `p = 1 − Π (1 − pₙ)`.
+pub fn joint_incident_probability(
+    model: &dyn SurvivalModel,
+    statuses: &[NodeStatus],
+    horizon: f64,
+) -> f64 {
+    let survive_all: f64 = statuses
+        .iter()
+        .map(|s| 1.0 - model.incident_probability(s, horizon).clamp(0.0, 1.0))
+        .product();
+    1.0 - survive_all
+}
+
+/// The residual incident probability after validating with `subset`
+/// (Algorithm 1's `IncidentProb`): `p × (1 − C(subset))`.
+pub fn residual_probability(
+    model: &dyn SurvivalModel,
+    statuses: &[NodeStatus],
+    horizon: f64,
+    coverage: &CoverageTable,
+    subset: &[BenchmarkId],
+) -> f64 {
+    joint_incident_probability(model, statuses, horizon) * (1.0 - coverage.coverage(subset))
+}
+
+/// Algorithm 1: greedily add the benchmark with the highest probability
+/// decrease per unit time until the residual probability drops below `p0`
+/// or the full candidate set is selected.
+///
+/// Returns the selected subset in selection order. An empty return means
+/// validation can be skipped entirely (`p ≤ p0` with no benchmarks).
+pub fn select_benchmarks(
+    model: &dyn SurvivalModel,
+    statuses: &[NodeStatus],
+    horizon: f64,
+    coverage: &CoverageTable,
+    candidates: &[BenchmarkId],
+    p0: f64,
+) -> Vec<BenchmarkId> {
+    let mut subset: Vec<BenchmarkId> = Vec::new();
+    let mut p = residual_probability(model, statuses, horizon, coverage, &subset);
+    while p > p0 && subset.len() < candidates.len() {
+        // Pick the candidate with the best Δp per minute.
+        let mut best: Option<(BenchmarkId, f64)> = None;
+        for &candidate in candidates.iter().filter(|c| !subset.contains(c)) {
+            let mut with = subset.clone();
+            with.push(candidate);
+            let delta = p - residual_probability(model, statuses, horizon, coverage, &with);
+            let efficiency = delta / candidate.spec().runtime_minutes;
+            match best {
+                Some((_, e)) if e >= efficiency => {}
+                _ => best = Some((candidate, efficiency)),
+            }
+        }
+        let Some((choice, efficiency)) = best else {
+            break;
+        };
+        if efficiency <= 0.0 && !subset.is_empty() {
+            // No remaining benchmark reduces the probability: adding more
+            // wastes node hours.
+            break;
+        }
+        subset.push(choice);
+        p = residual_probability(model, statuses, horizon, coverage, &subset);
+    }
+    subset
+}
+
+/// Selector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectorConfig {
+    /// Acceptable residual incident probability `p₀`.
+    pub p0: f64,
+    /// Default job-duration horizon in hours for regular checks.
+    pub default_horizon_hours: f64,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        Self {
+            p0: 0.1,
+            default_horizon_hours: 24.0,
+        }
+    }
+}
+
+/// The ANUBIS Selector: a survival model plus historical coverage, deciding
+/// when to validate and with which subset.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_benchsuite::BenchmarkId;
+/// use anubis_selector::{CoverageTable, ExponentialModel, NodeStatus, Selector, SelectorConfig};
+///
+/// let mut coverage = CoverageTable::new();
+/// for defect in 0..10 {
+///     coverage.record(BenchmarkId::IbHcaLoopback, defect);
+/// }
+/// let selector = Selector::new(
+///     Box::new(ExponentialModel { rate: 1.0 / 50.0 }),
+///     coverage,
+///     SelectorConfig::default(),
+/// );
+/// let statuses = vec![NodeStatus::fresh(); 4];
+/// assert!(selector.should_validate(&statuses, 24.0));
+/// let subset = selector.select(&statuses, 24.0);
+/// assert_eq!(subset, vec![BenchmarkId::IbHcaLoopback]);
+/// ```
+pub struct Selector {
+    model: Box<dyn SurvivalModel + Send + Sync>,
+    coverage: CoverageTable,
+    config: SelectorConfig,
+}
+
+impl std::fmt::Debug for Selector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Selector")
+            .field("coverage_defects", &self.coverage.total_defects())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Selector {
+    /// Creates a Selector from a fitted survival model and defect history.
+    pub fn new(
+        model: Box<dyn SurvivalModel + Send + Sync>,
+        coverage: CoverageTable,
+        config: SelectorConfig,
+    ) -> Self {
+        Self {
+            model,
+            coverage,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SelectorConfig {
+        &self.config
+    }
+
+    /// The coverage history (mutable, to record new defects).
+    pub fn coverage_mut(&mut self) -> &mut CoverageTable {
+        &mut self.coverage
+    }
+
+    /// Read-only coverage history.
+    pub fn coverage(&self) -> &CoverageTable {
+        &self.coverage
+    }
+
+    /// Joint incident probability of a node set over a horizon.
+    pub fn incident_probability(&self, statuses: &[NodeStatus], horizon: f64) -> f64 {
+        joint_incident_probability(self.model.as_ref(), statuses, horizon)
+    }
+
+    /// Whether validation is warranted (the Selector skips it when the
+    /// joint probability is already below `p₀`, saving node hours).
+    pub fn should_validate(&self, statuses: &[NodeStatus], horizon: f64) -> bool {
+        self.incident_probability(statuses, horizon) > self.config.p0
+    }
+
+    /// Selects a benchmark subset from the full suite for these nodes.
+    pub fn select(&self, statuses: &[NodeStatus], horizon: f64) -> Vec<BenchmarkId> {
+        select_benchmarks(
+            self.model.as_ref(),
+            statuses,
+            horizon,
+            &self.coverage,
+            &BenchmarkId::ALL,
+            self.config.p0,
+        )
+    }
+
+    /// Selects from an explicit candidate list.
+    pub fn select_from(
+        &self,
+        statuses: &[NodeStatus],
+        horizon: f64,
+        candidates: &[BenchmarkId],
+    ) -> Vec<BenchmarkId> {
+        select_benchmarks(
+            self.model.as_ref(),
+            statuses,
+            horizon,
+            &self.coverage,
+            candidates,
+            self.config.p0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survival::ExponentialModel;
+
+    /// Rate such that a 24h horizon gives ~0.3 per node.
+    fn risky_model() -> ExponentialModel {
+        ExponentialModel {
+            rate: -((1.0f64 - 0.3).ln()) / 24.0,
+        }
+    }
+
+    fn safe_model() -> ExponentialModel {
+        ExponentialModel { rate: 1e-6 }
+    }
+
+    fn statuses(n: usize) -> Vec<NodeStatus> {
+        vec![NodeStatus::fresh(); n]
+    }
+
+    /// Coverage: loopback finds 6 defects cheaply, stress finds 8 of 10
+    /// slowly, GEMM finds 2 that loopback also finds.
+    fn coverage() -> CoverageTable {
+        let mut table = CoverageTable::new();
+        for d in 0..6u64 {
+            table.record(BenchmarkId::IbHcaLoopback, d);
+        }
+        for d in 2..10u64 {
+            table.record(BenchmarkId::GpuStress, d);
+        }
+        table.record(BenchmarkId::GpuGemmFp16, 0);
+        table.record(BenchmarkId::GpuGemmFp16, 1);
+        table
+    }
+
+    #[test]
+    fn joint_probability_composes() {
+        let model = risky_model();
+        let p1 = joint_incident_probability(&model, &statuses(1), 24.0);
+        let p4 = joint_incident_probability(&model, &statuses(4), 24.0);
+        assert!((p1 - 0.3).abs() < 1e-9);
+        assert!((p4 - (1.0 - 0.7f64.powi(4))).abs() < 1e-9);
+        assert_eq!(joint_incident_probability(&model, &[], 24.0), 0.0);
+    }
+
+    #[test]
+    fn skips_validation_when_risk_is_low() {
+        let selector = Selector::new(
+            Box::new(safe_model()),
+            coverage(),
+            SelectorConfig::default(),
+        );
+        assert!(!selector.should_validate(&statuses(8), 24.0));
+        assert!(selector.select(&statuses(8), 24.0).is_empty());
+    }
+
+    #[test]
+    fn selects_cheap_high_coverage_first() {
+        let candidates = [
+            BenchmarkId::IbHcaLoopback,
+            BenchmarkId::GpuStress,
+            BenchmarkId::GpuGemmFp16,
+        ];
+        let table = coverage();
+        let model = risky_model();
+        let selected = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.2);
+        assert!(!selected.is_empty());
+        // Loopback: 0.6 coverage / 4 min >> stress: 0.8 / 45 min.
+        assert_eq!(selected[0], BenchmarkId::IbHcaLoopback);
+    }
+
+    #[test]
+    fn stops_once_p0_is_met() {
+        let candidates = [
+            BenchmarkId::IbHcaLoopback,
+            BenchmarkId::GpuStress,
+            BenchmarkId::GpuGemmFp16,
+        ];
+        let table = coverage();
+        let model = risky_model();
+        // p(2 nodes) = 0.51; loopback leaves 0.51*0.4 = 0.204 ≤ 0.25.
+        let selected = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.25);
+        assert_eq!(selected, vec![BenchmarkId::IbHcaLoopback]);
+    }
+
+    #[test]
+    fn escalates_to_more_benchmarks_for_tighter_p0() {
+        let candidates = [
+            BenchmarkId::IbHcaLoopback,
+            BenchmarkId::GpuStress,
+            BenchmarkId::GpuGemmFp16,
+        ];
+        let table = coverage();
+        let model = risky_model();
+        let loose = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.25);
+        let tight = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.05);
+        assert!(tight.len() > loose.len());
+    }
+
+    #[test]
+    fn full_set_when_nothing_suffices() {
+        // Coverage never reaches 1, p0 = 0: selection ends at the full
+        // candidate list without looping forever.
+        let mut table = CoverageTable::new();
+        table.record(BenchmarkId::CpuLatency, 0);
+        table.record(BenchmarkId::DiskSeqRead, 1);
+        // A third defect no candidate covers.
+        table.record(BenchmarkId::GpuStress, 2);
+        let candidates = [BenchmarkId::CpuLatency, BenchmarkId::DiskSeqRead];
+        let model = risky_model();
+        let selected = select_benchmarks(&model, &statuses(4), 24.0, &table, &candidates, 0.0);
+        assert_eq!(selected.len(), 2, "selects everything then stops");
+    }
+
+    #[test]
+    fn no_history_selects_cheapest_then_stops() {
+        // With an empty coverage table nothing reduces p; the algorithm
+        // adds one benchmark (Algorithm 1 always admits its first pick)
+        // then stops on zero marginal gain.
+        let table = CoverageTable::new();
+        let model = risky_model();
+        let candidates = [BenchmarkId::GpuStress, BenchmarkId::CpuLatency];
+        let selected = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.1);
+        assert_eq!(selected.len(), 1);
+    }
+
+    #[test]
+    fn selector_facade_records_defects() {
+        let mut selector = Selector::new(
+            Box::new(risky_model()),
+            CoverageTable::new(),
+            SelectorConfig::default(),
+        );
+        selector
+            .coverage_mut()
+            .record(BenchmarkId::IbHcaLoopback, 42);
+        assert_eq!(selector.coverage().total_defects(), 1);
+        assert!(selector.should_validate(&statuses(4), 24.0));
+    }
+}

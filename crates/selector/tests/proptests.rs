@@ -1,0 +1,96 @@
+//! Property-based tests for selection and survival invariants.
+
+use anubis_benchsuite::BenchmarkId;
+use anubis_selector::{
+    model_accuracy, select_benchmarks, CoverageTable, ExponentialModel, ExponentialPerCountModel,
+    NodeStatus, SurvivalModel, SurvivalSample,
+};
+use proptest::prelude::*;
+
+fn coverage_strategy() -> impl Strategy<Value = CoverageTable> {
+    prop::collection::vec((0usize..31, 0u64..40), 0..120).prop_map(|records| {
+        let mut table = CoverageTable::new();
+        for (bench_idx, defect) in records {
+            table.record(BenchmarkId::ALL[bench_idx], defect);
+        }
+        table
+    })
+}
+
+proptest! {
+    /// Selection always returns a subset of the candidates, without
+    /// duplicates, and its residual probability never exceeds the
+    /// unvalidated probability.
+    #[test]
+    fn selection_is_a_proper_subset(
+        table in coverage_strategy(),
+        rate_inv in 20.0f64..2000.0,
+        p0 in 0.0f64..0.9,
+        nodes in 1usize..16,
+    ) {
+        let model = ExponentialModel { rate: 1.0 / rate_inv };
+        let statuses = vec![NodeStatus::fresh(); nodes];
+        let subset = select_benchmarks(&model, &statuses, 36.0, &table, &BenchmarkId::ALL, p0);
+        prop_assert!(subset.len() <= BenchmarkId::ALL.len());
+        let mut dedup = subset.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), subset.len(), "no duplicates");
+        use anubis_selector::select::residual_probability;
+        let before = residual_probability(&model, &statuses, 36.0, &table, &[]);
+        let after = residual_probability(&model, &statuses, 36.0, &table, &subset);
+        prop_assert!(after <= before + 1e-12);
+    }
+
+    /// Coverage is monotone and bounded for arbitrary histories.
+    #[test]
+    fn coverage_is_monotone_and_bounded(table in coverage_strategy(), split in 0usize..31) {
+        let all = BenchmarkId::ALL;
+        let partial = &all[..split];
+        let c_partial = table.coverage(partial);
+        let c_full = table.coverage(&all);
+        prop_assert!((0.0..=1.0).contains(&c_partial));
+        prop_assert!(c_partial <= c_full + 1e-12);
+        if table.total_defects() > 0 {
+            prop_assert!((c_full - 1.0).abs() < 1e-12, "ALL covers everything recorded");
+        }
+    }
+
+    /// Survival-model sanity under arbitrary fitted data: probabilities
+    /// in [0, 1] and monotone in the horizon; accuracy in [0, 1].
+    #[test]
+    fn survival_model_sanity(
+        durations in prop::collection::vec(1.0f64..2400.0, 4..60),
+        counts in prop::collection::vec(0u32..12, 4..60),
+        horizon in 1.0f64..500.0,
+    ) {
+        let samples: Vec<SurvivalSample> = durations
+            .iter()
+            .zip(counts.iter().cycle())
+            .map(|(&duration, &count)| {
+                let mut status = NodeStatus::fresh();
+                status.advance(100.0);
+                for _ in 0..count {
+                    status.record_incident(
+                        anubis_hwsim::fault::IncidentCategory::GpuCompute,
+                    );
+                }
+                SurvivalSample { status, duration, event: true }
+            })
+            .collect();
+        for model in [
+            Box::new(ExponentialModel::fit(&samples)) as Box<dyn SurvivalModel>,
+            Box::new(ExponentialPerCountModel::fit(&samples)),
+        ] {
+            let status = samples[0].status.clone();
+            let p_short = model.incident_probability(&status, horizon);
+            let p_long = model.incident_probability(&status, horizon * 2.0);
+            prop_assert!((0.0..=1.0).contains(&p_short));
+            prop_assert!(p_long >= p_short - 1e-12);
+            let tbni = model.expected_tbni(&status);
+            prop_assert!(tbni > 0.0 && tbni <= 2400.0);
+            let acc = model_accuracy(model.as_ref(), &samples);
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+}

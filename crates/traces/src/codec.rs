@@ -1,0 +1,220 @@
+//! Trace export and compact binary encoding.
+//!
+//! The production system archives traces for offline model training; this
+//! module provides two interchange formats:
+//!
+//! - **JSON lines** (via the workspace's serde-based JSON writer): one
+//!   event per line, grep/pandas-friendly;
+//! - **binary** (via `bytes`): a compact length-prefixed encoding with a
+//!   magic header and version byte, round-trippable without serde.
+
+use crate::allocation::AllocationRequest;
+use crate::incident::{IncidentEvent, IncidentTrace, IncidentTraceConfig};
+use anubis_hwsim::fault::IncidentCategory;
+use anubis_metrics::json::{to_json, JsonError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic bytes opening every binary trace.
+const MAGIC: &[u8; 4] = b"ANBT";
+/// Current binary format version.
+const VERSION: u8 = 1;
+
+/// Errors from decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// An incident category index was out of range.
+    BadCategory(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not an ANUBIS binary trace (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            Self::Truncated => write!(f, "trace buffer truncated"),
+            Self::BadCategory(c) => write!(f, "invalid incident category index {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Renders an incident trace as JSON lines (one event per line).
+pub fn incident_trace_to_jsonl(trace: &IncidentTrace) -> Result<String, JsonError> {
+    let mut out = String::new();
+    for event in &trace.events {
+        out.push_str(&to_json(event)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Renders an allocation trace as JSON lines.
+pub fn allocation_trace_to_jsonl(trace: &[AllocationRequest]) -> Result<String, JsonError> {
+    let mut out = String::new();
+    for request in trace {
+        out.push_str(&to_json(request)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Encodes an incident trace into the compact binary format.
+pub fn encode_incident_trace(trace: &IncidentTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.events.len() * 21);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32(trace.config.nodes);
+    buf.put_f64(trace.config.duration_hours);
+    buf.put_u64(trace.config.seed);
+    buf.put_f64(trace.config.base_mtbi_hours);
+    buf.put_f64(trace.config.wear_factor);
+    buf.put_f64(trace.config.frailty_sigma);
+    buf.put_u32(trace.events.len() as u32);
+    for event in &trace.events {
+        buf.put_u32(event.node);
+        buf.put_f64(event.start_hour);
+        buf.put_f64(event.ticket_hours);
+        let index = IncidentCategory::ALL
+            .iter()
+            .position(|c| *c == event.category)
+            .expect("category in ALL") as u8;
+        buf.put_u8(index);
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary incident trace.
+pub fn decode_incident_trace(mut buf: &[u8]) -> Result<IncidentTrace, CodecError> {
+    if buf.remaining() < 5 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    if buf.remaining() < 4 + 8 + 8 + 8 + 8 + 8 + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let config = IncidentTraceConfig {
+        nodes: buf.get_u32(),
+        duration_hours: buf.get_f64(),
+        seed: buf.get_u64(),
+        base_mtbi_hours: buf.get_f64(),
+        wear_factor: buf.get_f64(),
+        frailty_sigma: buf.get_f64(),
+    };
+    let count = buf.get_u32() as usize;
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 + 8 + 8 + 1 {
+            return Err(CodecError::Truncated);
+        }
+        let node = buf.get_u32();
+        let start_hour = buf.get_f64();
+        let ticket_hours = buf.get_f64();
+        let index = buf.get_u8();
+        let category = *IncidentCategory::ALL
+            .get(index as usize)
+            .ok_or(CodecError::BadCategory(index))?;
+        events.push(IncidentEvent {
+            node,
+            start_hour,
+            ticket_hours,
+            category,
+        });
+    }
+    Ok(IncidentTrace { events, config })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incident::generate_incident_trace;
+    use proptest::prelude::*;
+
+    fn small_trace() -> IncidentTrace {
+        generate_incident_trace(&IncidentTraceConfig {
+            nodes: 60,
+            ..IncidentTraceConfig::default()
+        })
+    }
+
+    #[test]
+    fn jsonl_has_one_event_per_line() {
+        let trace = small_trace();
+        let jsonl = incident_trace_to_jsonl(&trace).unwrap();
+        assert_eq!(jsonl.lines().count(), trace.events.len());
+        let first = jsonl.lines().next().unwrap();
+        assert!(first.starts_with("{\"node\":"), "{first}");
+        assert!(first.contains("\"category\":"));
+    }
+
+    #[test]
+    fn allocation_jsonl_shape() {
+        use crate::allocation::{generate_allocation_trace, AllocationConfig};
+        let trace = generate_allocation_trace(&AllocationConfig::stressed(32));
+        let jsonl = allocation_trace_to_jsonl(&trace).unwrap();
+        assert_eq!(jsonl.lines().count(), trace.len());
+        assert!(jsonl.lines().next().unwrap().contains("\"submit_hour\":"));
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let trace = small_trace();
+        let encoded = encode_incident_trace(&trace);
+        let decoded = decode_incident_trace(&encoded).unwrap();
+        assert_eq!(decoded.config, trace.config);
+        assert_eq!(decoded.events, trace.events);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert_eq!(
+            decode_incident_trace(b"").unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            decode_incident_trace(b"XXXX\x01rest").unwrap_err(),
+            CodecError::BadMagic
+        );
+        let trace = small_trace();
+        let mut encoded = encode_incident_trace(&trace).to_vec();
+        encoded[4] = 99;
+        assert_eq!(
+            decode_incident_trace(&encoded).unwrap_err(),
+            CodecError::BadVersion(99)
+        );
+        let encoded = encode_incident_trace(&trace);
+        assert_eq!(
+            decode_incident_trace(&encoded[..encoded.len() - 3]).unwrap_err(),
+            CodecError::Truncated
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_seed(nodes in 1u32..40, seed in 0u64..1000) {
+            let trace = generate_incident_trace(&IncidentTraceConfig {
+                nodes,
+                seed,
+                ..IncidentTraceConfig::default()
+            });
+            let decoded = decode_incident_trace(&encode_incident_trace(&trace)).unwrap();
+            prop_assert_eq!(decoded.events, trace.events);
+            prop_assert_eq!(decoded.config, trace.config);
+        }
+    }
+}

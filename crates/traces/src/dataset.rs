@@ -1,0 +1,183 @@
+//! The cluster build-out fleet (the Table 6 benchmark dataset).
+
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the build-out fleet generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildoutConfig {
+    /// Number of VMs (the paper's dataset: 3k+ A100 VMs).
+    pub vms: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BuildoutConfig {
+    fn default() -> Self {
+        Self {
+            vms: 3000,
+            seed: 2024,
+        }
+    }
+}
+
+/// Per-fault injection rates calibrated so the full benchmark set filters
+/// roughly the Table 6 defect shares (IB HCA loopback ≈ 6%, H2D/D2H ≈ 2%,
+/// CPU latency ≈ 1.3%, …, ≈ 10.4% of nodes defective overall).
+///
+/// Each row is `(probability, sampler)`; faults are drawn independently
+/// per node, so a node can carry several defects — as real build-outs do.
+fn injection_table(rng: &mut ChaCha8Rng) -> Vec<(f64, FaultKind)> {
+    vec![
+        (
+            0.050,
+            FaultKind::HcaDegraded {
+                severity: rng.random_range(0.12..0.4),
+            },
+        ),
+        (
+            0.012,
+            FaultKind::IbLinkBer {
+                severity: rng.random_range(0.15..0.4),
+            },
+        ),
+        (
+            0.018,
+            FaultKind::PcieDowngrade {
+                severity: rng.random_range(0.25..0.5),
+            },
+        ),
+        (
+            0.013,
+            FaultKind::CpuMemoryLatency {
+                severity: rng.random_range(0.12..0.35),
+            },
+        ),
+        (
+            0.002,
+            FaultKind::GpuComputeDegraded {
+                severity: rng.random_range(0.1..0.3),
+            },
+        ),
+        (
+            0.003,
+            FaultKind::ThermalThrottle {
+                severity: rng.random_range(0.1..0.25),
+            },
+        ),
+        (
+            0.006,
+            FaultKind::GpuMemoryBandwidthDegraded {
+                severity: rng.random_range(0.1..0.3),
+            },
+        ),
+        (
+            0.006,
+            FaultKind::RowRemapErrors {
+                correctable_errors: rng.random_range(11..40),
+            },
+        ),
+        (
+            0.004,
+            FaultKind::NvLinkLanesDown {
+                lanes: rng.random_range(26..60),
+            },
+        ),
+        (
+            0.0035,
+            FaultKind::OverlapInterference {
+                severity: rng.random_range(0.12..0.3),
+            },
+        ),
+        (
+            0.004,
+            FaultKind::KernelLaunchOverhead {
+                severity: rng.random_range(0.3..0.6),
+            },
+        ),
+        (
+            0.003,
+            FaultKind::DiskSlow {
+                severity: rng.random_range(0.2..0.5),
+            },
+        ),
+    ]
+}
+
+/// Generates the build-out fleet: mostly healthy A100 VMs with defects
+/// injected at the calibrated rates.
+pub fn generate_buildout_fleet(config: &BuildoutConfig) -> Vec<NodeSim> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    (0..config.vms)
+        .map(|i| {
+            let mut node = NodeSim::new(
+                NodeId(i),
+                NodeSpec::a100_8x(),
+                config.seed ^ (u64::from(i).wrapping_mul(0x9e37_79b9)),
+            );
+            for (probability, fault) in injection_table(&mut rng) {
+                if rng.random::<f64>() < probability {
+                    node.inject_fault(fault);
+                }
+            }
+            node
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_size_and_determinism() {
+        let config = BuildoutConfig { vms: 200, seed: 1 };
+        let a = generate_buildout_fleet(&config);
+        let b = generate_buildout_fleet(&config);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.active_faults(), y.active_faults());
+        }
+    }
+
+    #[test]
+    fn defect_fraction_matches_deployment() {
+        let fleet = generate_buildout_fleet(&BuildoutConfig { vms: 4000, seed: 3 });
+        let defective = fleet.iter().filter(|n| n.has_detectable_defect()).count() as f64;
+        let fraction = defective / fleet.len() as f64;
+        // The paper filters 10.36% of nodes; calibration tolerance ±3pp
+        // (row-remap regressions are probabilistic).
+        assert!(
+            (0.07..=0.14).contains(&fraction),
+            "defective fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn hca_faults_dominate() {
+        let fleet = generate_buildout_fleet(&BuildoutConfig { vms: 4000, seed: 5 });
+        let hca = fleet
+            .iter()
+            .filter(|n| {
+                n.active_faults()
+                    .iter()
+                    .any(|f| matches!(f, FaultKind::HcaDegraded { .. }))
+            })
+            .count() as f64
+            / fleet.len() as f64;
+        assert!((0.03..=0.07).contains(&hca), "HCA share {hca}");
+    }
+
+    #[test]
+    fn most_nodes_are_healthy() {
+        let fleet = generate_buildout_fleet(&BuildoutConfig { vms: 1000, seed: 7 });
+        let healthy = fleet
+            .iter()
+            .filter(|n| !n.has_detectable_defect() && n.active_faults().is_empty())
+            .count();
+        assert!(healthy > 800, "healthy nodes: {healthy}");
+    }
+}

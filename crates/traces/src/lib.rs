@@ -1,0 +1,33 @@
+//! Synthetic, statistically-calibrated traces.
+//!
+//! The paper's evaluation consumes three production datasets none of which
+//! are public: a 4-month node-incident trace from ~1k on-premise GPU
+//! nodes, the same clusters' allocation-request trace, and a 3k-VM
+//! build-out benchmark dataset. This crate generates synthetic equivalents
+//! calibrated to every statistic the paper reports:
+//!
+//! - [`incident`]: per-node incident processes with *accumulating wear*
+//!   (each partially-repaired incident raises the hazard), reproducing
+//!   Figure 4's decaying inter-incident times, Figure 1's source mix and
+//!   Figure 2's ticket-duration distribution, plus extraction of
+//!   status/TBNI survival samples for Table 3;
+//! - [`allocation`]: Poisson job arrivals with realistic size/duration
+//!   mixes for the Figure 8 / Table 4 cluster simulation;
+//! - [`dataset`]: the build-out fleet with defect injection rates
+//!   calibrated to Table 6.
+
+pub mod allocation;
+pub mod codec;
+pub mod dataset;
+pub mod incident;
+
+pub use allocation::{generate_allocation_trace, AllocationConfig, AllocationRequest};
+pub use codec::{
+    allocation_trace_to_jsonl, decode_incident_trace, encode_incident_trace,
+    incident_trace_to_jsonl, CodecError,
+};
+pub use dataset::{generate_buildout_fleet, BuildoutConfig};
+pub use incident::{
+    generate_incident_trace, sample_fault_for_category, IncidentEvent, IncidentTrace,
+    IncidentTraceConfig, SourceMix, TicketDurationModel,
+};

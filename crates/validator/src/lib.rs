@@ -1,0 +1,32 @@
+//! The ANUBIS Validator (paper Section 3.4).
+//!
+//! The Validator executes benchmarks on specified nodes and filters
+//! defective ones against *criteria* learned offline:
+//!
+//! - [`criteria`]: Algorithm 2 — similarity-based clustering in CDF space
+//!   that iteratively excludes defective samples and recomputes the
+//!   centroid, producing a clear-cut healthy reference per benchmark;
+//! - [`filter`]: online defect filtering with the one-direction distance
+//!   (Eq. 4) against the learned criteria and threshold α;
+//! - [`validator`]: the end-to-end `Validator` object tying criteria
+//!   learning, two-phase execution and filtering together;
+//! - [`repeatability`]: the paper's repeatability metric;
+//! - [`tuning`]: Appendix B — adaptive warmup/measurement-step search via
+//!   seasonal decomposition.
+
+pub mod criteria;
+pub mod filter;
+pub mod history;
+pub mod repeatability;
+pub mod tuning;
+pub mod validator;
+
+pub use criteria::{calculate_criteria, CentroidMethod, CriteriaResult};
+pub use filter::{Criteria, DefectFilter};
+pub use history::CriteriaHistory;
+pub use repeatability::{benchmark_repeatability, repeatability_vs_criteria};
+pub use tuning::{search_step_window, select_shared_window, StepWindow, TuningError};
+pub use validator::{ValidationReport, Validator, ValidatorConfig};
+
+/// The paper's default similarity threshold α.
+pub const DEFAULT_ALPHA: f64 = 0.95;

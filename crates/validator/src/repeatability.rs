@@ -1,0 +1,67 @@
+//! The repeatability metric (paper Section 3.4 and Tables 5/6).
+
+use crate::filter::Criteria;
+use anubis_metrics::{mean_pairwise_similarity, Sample};
+
+/// Repeatability of a benchmark across nodes or runs: the arithmetic mean
+/// of pairwise similarities (the paper's definition).
+pub fn benchmark_repeatability(samples: &[Sample]) -> f64 {
+    mean_pairwise_similarity(samples)
+}
+
+/// Repeatability measured against learned criteria: the mean of each
+/// sample's similarity score to `criteria` — how Table 5/6 report it.
+pub fn repeatability_vs_criteria(samples: &[Sample], criteria: &Criteria) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    samples.iter().map(|s| criteria.similarity(s)).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anubis_metrics::Direction;
+
+    #[test]
+    fn identical_runs_are_perfectly_repeatable() {
+        let samples = vec![Sample::scalar(10.0).unwrap(); 5];
+        assert_eq!(benchmark_repeatability(&samples), 1.0);
+    }
+
+    #[test]
+    fn tight_cluster_is_highly_repeatable() {
+        let samples: Vec<Sample> = (0..6)
+            .map(|i| Sample::scalar(100.0 + i as f64 * 0.05).unwrap())
+            .collect();
+        let r = benchmark_repeatability(&samples);
+        assert!(r > 0.997, "repeatability {r}");
+    }
+
+    #[test]
+    fn spread_cluster_is_less_repeatable() {
+        let tight: Vec<Sample> = (0..6)
+            .map(|i| Sample::scalar(100.0 + i as f64 * 0.05).unwrap())
+            .collect();
+        let wide: Vec<Sample> = (0..6)
+            .map(|i| Sample::scalar(100.0 + i as f64 * 2.0).unwrap())
+            .collect();
+        assert!(benchmark_repeatability(&wide) < benchmark_repeatability(&tight));
+    }
+
+    #[test]
+    fn criteria_repeatability_ignores_faster_samples() {
+        let criteria = Criteria {
+            sample: Sample::scalar(100.0).unwrap(),
+            direction: Direction::HigherIsBetter,
+            alpha: 0.95,
+        };
+        let samples = vec![
+            Sample::scalar(100.5).unwrap(),
+            Sample::scalar(101.0).unwrap(),
+        ];
+        // Faster than criteria: one-sided similarity is exactly 1.
+        assert_eq!(repeatability_vs_criteria(&samples, &criteria), 1.0);
+        assert_eq!(repeatability_vs_criteria(&[], &criteria), 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Analytic AI workload models and training-step simulation.
+//!
+//! ANUBIS's end-to-end benchmarks (Table 2) train representative models —
+//! CNNs (ResNet/DenseNet/VGG), an LSTM, and Transformers (BERT/GPT-2) —
+//! and record per-step throughput series. This crate replaces real
+//! framework runs with analytic cost models replayed over
+//! [`anubis_hwsim::NodeSim`] (and [`anubis_netsim::FatTree`] for multi-node
+//! jobs):
+//!
+//! - [`model`]: the model zoo with parameter counts, per-sample FLOPs,
+//!   gradient sizes, kernel counts, and sensitivity profiles;
+//! - [`training`]: single-node and multi-node data-parallel step
+//!   simulation producing realistic throughput time series (warmup
+//!   transients, periodic data-loading cycles, measurement noise);
+//! - [`mix`]: the Figure 5 workload-mix model of a multi-tenant cluster.
+
+pub mod mix;
+pub mod model;
+pub mod training;
+
+pub use mix::{WorkloadClass, WorkloadMix};
+pub use model::{ModelConfig, ModelFamily, ModelId};
+pub use training::{simulate_multi_node_training, simulate_training, TrainingOptions};

@@ -1,0 +1,60 @@
+//! Property-based tests for the workload cost models.
+
+use anubis_hwsim::{FaultKind, NodeId, NodeSim, NodeSpec, Precision};
+use anubis_workload::training::steady_step_time_s;
+use anubis_workload::{simulate_training, ModelId, TrainingOptions};
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = ModelId> {
+    prop::sample::select(ModelId::ALL.to_vec())
+}
+
+proptest! {
+    /// Throughput is finite and positive for every model, precision and
+    /// seed, and series have the requested length.
+    #[test]
+    fn throughput_is_well_formed(model in model_strategy(), seed in 0u64..400, fp32 in any::<bool>()) {
+        let mut node = NodeSim::new(NodeId(0), NodeSpec::h100_8x(), seed);
+        let mut opts = TrainingOptions::validation(48);
+        if fp32 {
+            opts.precision = Precision::Fp32;
+        }
+        let series = simulate_training(&mut node, &model.config(), &opts);
+        prop_assert_eq!(series.len(), 48);
+        for &t in &series {
+            prop_assert!(t.is_finite() && t > 0.0);
+        }
+    }
+
+    /// More compute degradation always means slower steady steps
+    /// (monotonicity of the cost model in severity).
+    #[test]
+    fn step_time_is_monotone_in_severity(
+        model in model_strategy(),
+        sev_lo in 0.01f64..0.3,
+        delta in 0.05f64..0.4,
+    ) {
+        let healthy = NodeSim::new(NodeId(1), NodeSpec::a100_8x(), 5);
+        let mut mild = NodeSim::new(NodeId(1), NodeSpec::a100_8x(), 5);
+        mild.inject_fault(FaultKind::GpuComputeDegraded { severity: sev_lo });
+        let mut severe = NodeSim::new(NodeId(1), NodeSpec::a100_8x(), 5);
+        severe.inject_fault(FaultKind::GpuComputeDegraded { severity: sev_lo + delta });
+        let cfg = model.config();
+        let t0 = steady_step_time_s(&healthy, &cfg, Precision::Fp16);
+        let t1 = steady_step_time_s(&mild, &cfg, Precision::Fp16);
+        let t2 = steady_step_time_s(&severe, &cfg, Precision::Fp16);
+        prop_assert!(t0 < t1 && t1 < t2, "{t0} < {t1} < {t2}");
+    }
+
+    /// Step time scales (weakly) inversely with hardware generation: the
+    /// H100 never loses to the A100 on the same model.
+    #[test]
+    fn newer_hardware_is_never_slower(model in model_strategy()) {
+        let a100 = NodeSim::new(NodeId(2), NodeSpec::a100_8x(), 9);
+        let h100 = NodeSim::new(NodeId(2), NodeSpec::h100_8x(), 9);
+        let cfg = model.config();
+        let t_a = steady_step_time_s(&a100, &cfg, Precision::Fp16);
+        let t_h = steady_step_time_s(&h100, &cfg, Precision::Fp16);
+        prop_assert!(t_h <= t_a, "H100 {t_h} vs A100 {t_a}");
+    }
+}

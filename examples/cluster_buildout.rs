@@ -1,0 +1,67 @@
+//! Cluster build-out: the Table 6 quality-gate scenario.
+//!
+//! Generates a build-out fleet with realistic defect-injection rates, runs
+//! a representative subset of the benchmark suite, learns criteria with
+//! Algorithm 2, and prints per-benchmark defect shares and healthy-node
+//! repeatability — the report an operator reviews before handing nodes to
+//! customers.
+//!
+//! ```text
+//! cargo run --release --example cluster_buildout
+//! ```
+
+use anubis::benchsuite::{run_benchmark, BenchmarkId};
+use anubis::metrics::{mean_pairwise_similarity, Sample};
+use anubis::traces::{generate_buildout_fleet, BuildoutConfig};
+use anubis::validator::{calculate_criteria, CentroidMethod, DEFAULT_ALPHA};
+use std::collections::BTreeSet;
+
+fn main() {
+    let vms = 300u32;
+    let mut fleet = generate_buildout_fleet(&BuildoutConfig { vms, seed: 7 });
+    println!("build-out fleet: {vms} simulated A100 VMs\n");
+
+    let gate: Vec<BenchmarkId> = vec![
+        BenchmarkId::IbHcaLoopback,
+        BenchmarkId::GpuH2dBandwidth,
+        BenchmarkId::CpuLatency,
+        BenchmarkId::GpuGemmFp16,
+        BenchmarkId::MatmulAllReduceOverlap,
+        BenchmarkId::TrainBert,
+    ];
+
+    let mut all_defective: BTreeSet<u32> = BTreeSet::new();
+    println!(
+        "{:<28} {:>13} {:>15}",
+        "benchmark", "defects", "repeatability"
+    );
+    for bench in gate {
+        let samples: Vec<Sample> = fleet
+            .iter_mut()
+            .map(|node| run_benchmark(bench, node).expect("single-node benchmark"))
+            .collect();
+        let result = calculate_criteria(&samples, DEFAULT_ALPHA, CentroidMethod::Medoid)
+            .expect("fleet is non-empty");
+        for &idx in &result.defects {
+            all_defective.insert(fleet[idx].id().0);
+        }
+        let healthy: Vec<Sample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !result.defects.contains(i))
+            .take(100)
+            .map(|(_, s)| s.clone())
+            .collect();
+        println!(
+            "{:<28} {:>9} / {vms} {:>14.2}%",
+            bench.to_string(),
+            result.defects.len(),
+            mean_pairwise_similarity(&healthy) * 100.0
+        );
+    }
+    println!(
+        "\nquality gate verdict: {} of {vms} nodes ({:.2}%) go out for repair",
+        all_defective.len(),
+        all_defective.len() as f64 / f64::from(vms) * 100.0
+    );
+}

@@ -1,0 +1,82 @@
+//! Proactive fleet operation: the Figure 8 / Table 4 scenario in miniature.
+//!
+//! Fits the Selector's survival model on a synthetic incident trace,
+//! replays a stressed allocation trace through the cluster simulator under
+//! three policies (no validation, full-set validation, ANUBIS Selector),
+//! and prints the utilization / validation-cost / MTBI trade-off.
+//!
+//! ```text
+//! cargo run --release --example proactive_fleet
+//! ```
+
+use anubis::cluster::{simulate, ClusterSimConfig, Policy};
+use anubis::selector::{ExponentialPerCountModel, Selector, SelectorConfig};
+use anubis::traces::{
+    generate_allocation_trace, generate_incident_trace, AllocationConfig, IncidentTraceConfig,
+};
+use anubis_bench::experiments::fig8::table6_coverage_history;
+
+fn main() {
+    // 1. Fit the incident-probability model on the synthetic trace (the
+    //    exponential-per-count baseline keeps this example fast; swap in
+    //    `CoxTimeModel::fit` for the paper's flagship model).
+    let trace = generate_incident_trace(&IncidentTraceConfig {
+        nodes: 200,
+        ..IncidentTraceConfig::default()
+    });
+    let samples = trace.survival_samples(96.0);
+    println!("fitted survival model on {} status samples", samples.len());
+    let model = ExponentialPerCountModel::fit(&samples);
+    let selector = Selector::new(
+        Box::new(model),
+        table6_coverage_history(),
+        SelectorConfig::default(),
+    );
+
+    // 2. Simulate 30 days of a 96-node cluster under each policy.
+    let sim = ClusterSimConfig {
+        nodes: 96,
+        ..Default::default()
+    };
+    let jobs = generate_allocation_trace(&AllocationConfig::stressed(sim.nodes));
+    println!(
+        "replaying {} job requests over 30 days on {} nodes\n",
+        jobs.len(),
+        sim.nodes
+    );
+
+    println!(
+        "{:<16} {:>12} {:>16} {:>10} {:>14}",
+        "policy", "utilization", "validation (h)", "MTBI (h)", "interruptions"
+    );
+    let mut rows = Vec::new();
+    for policy in [
+        Policy::Absence,
+        Policy::FullSet,
+        Policy::Selector(&selector),
+    ] {
+        let outcome = simulate(&sim, &jobs, &policy);
+        println!(
+            "{:<16} {:>11.1}% {:>16.1} {:>10.1} {:>14}",
+            outcome.policy.name(),
+            outcome.avg_utilization * 100.0,
+            outcome.avg_validation_hours,
+            outcome.mtbi_hours,
+            outcome.jobs_interrupted
+        );
+        rows.push(outcome);
+    }
+
+    let absence = &rows[0];
+    let full = &rows[1];
+    let selector_row = &rows[2];
+    println!(
+        "\nANUBIS Selector vs no validation: MTBI x{:.1}, utilization x{:.1}",
+        selector_row.mtbi_hours / absence.mtbi_hours,
+        selector_row.avg_utilization / absence.avg_utilization
+    );
+    println!(
+        "ANUBIS Selector vs full set: {:.1}% less validation time",
+        (1.0 - selector_row.avg_validation_hours / full.avg_validation_hours) * 100.0
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: validate a small fleet end to end.
+//!
+//! Builds a 16-node simulated A100 fleet with two injected gray failures,
+//! bootstraps ANUBIS criteria from a build-out run, and validates the
+//! fleet — printing which nodes were filtered as defective and by which
+//! benchmarks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use anubis::hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis::{Anubis, AnubisConfig, ValidationEvent};
+
+fn main() {
+    // A fresh 16-node fleet (simulated ND A100 v4 VMs).
+    let mut nodes: Vec<NodeSim> = (0..16)
+        .map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 2024))
+        .collect();
+    let members: Vec<usize> = (0..nodes.len()).collect();
+
+    // Two gray failures: a PCIe downgrade and the Section 2.1 overlap
+    // interference that no standalone benchmark can see.
+    nodes[5].inject_fault(FaultKind::PcieDowngrade { severity: 0.5 });
+    nodes[11].inject_fault(FaultKind::OverlapInterference { severity: 0.3 });
+
+    // Cluster build-out: run the full single-node suite, learn criteria.
+    let mut system = Anubis::new(AnubisConfig::default());
+    let buildout = system
+        .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+        .expect("build-out validation");
+
+    println!(
+        "build-out: {} benchmarks, {:.0} minutes of validation",
+        buildout.benchmarks.len(),
+        buildout.duration_minutes
+    );
+    println!("defective nodes found during build-out:");
+    for node in &buildout.defective {
+        println!("  {node}");
+    }
+
+    // The per-benchmark verdicts live in the Validator's criteria; show
+    // which benchmark caught which node.
+    let report = system
+        .handle_event(
+            &ValidationEvent::RegularCheck {
+                horizon_hours: 24.0,
+            },
+            &mut nodes,
+            &members,
+            None,
+        )
+        .expect("regular check");
+    println!("\nregular check re-confirmed:");
+    for (node, _) in report.defective.iter().zip(0..) {
+        println!("  {node}");
+    }
+    for node in [NodeId(5), NodeId(11)] {
+        assert!(
+            buildout.defective.contains(&node),
+            "{node} carries an injected defect and must be filtered"
+        );
+    }
+    println!("\nboth injected gray failures were caught before any customer job ran");
+}

@@ -1,0 +1,6 @@
+//! Workspace facade: re-exports the ANUBIS system crate and the experiment
+//! harness so the `examples/` and `tests/` at the workspace root have a
+//! single dependency surface.
+
+pub use anubis;
+pub use anubis_bench;

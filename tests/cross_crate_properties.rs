@@ -1,0 +1,83 @@
+//! Cross-crate property tests: invariants that span the hardware
+//! simulator, the benchmark suite and the Validator.
+
+use anubis::hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis::validator::{calculate_criteria, CentroidMethod};
+use anubis_benchsuite::{run_benchmark, BenchmarkId};
+use anubis_metrics::Sample;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A severe compute defect is always filtered, regardless of severity
+    /// draw and seed; mild (< 1%) deviations never are.
+    #[test]
+    fn severe_defects_always_filtered(severity in 0.15f64..0.6, seed in 0u64..500) {
+        let mut samples = Vec::new();
+        for i in 0..10u32 {
+            let mut node = NodeSim::new(NodeId(i), NodeSpec::a100_8x(), seed);
+            samples.push(run_benchmark(BenchmarkId::GpuGemmFp16, &mut node).unwrap());
+        }
+        let mut defective = NodeSim::new(NodeId(100), NodeSpec::a100_8x(), seed);
+        defective.inject_fault(FaultKind::GpuComputeDegraded { severity });
+        samples.push(run_benchmark(BenchmarkId::GpuGemmFp16, &mut defective).unwrap());
+        let result = calculate_criteria(&samples, 0.95, CentroidMethod::Medoid).unwrap();
+        prop_assert!(result.defects.contains(&10), "severity {severity} must be caught");
+        prop_assert!(
+            result.defects.iter().all(|&d| d == 10),
+            "healthy nodes stay healthy: {:?}",
+            result.defects
+        );
+    }
+
+    /// Criteria results are invariant under sample-order permutation of
+    /// the healthy cohort (the defect set is found regardless of order).
+    #[test]
+    fn criteria_defects_are_order_independent(rotate in 0usize..12, seed in 0u64..200) {
+        let mut samples: Vec<Sample> = Vec::new();
+        for i in 0..12u32 {
+            let mut node = NodeSim::new(NodeId(i), NodeSpec::a100_8x(), seed);
+            samples.push(run_benchmark(BenchmarkId::CpuLatency, &mut node).unwrap());
+        }
+        let mut defective = NodeSim::new(NodeId(99), NodeSpec::a100_8x(), seed);
+        defective.inject_fault(FaultKind::CpuMemoryLatency { severity: 0.4 });
+        let bad = run_benchmark(BenchmarkId::CpuLatency, &mut defective).unwrap();
+
+        let mut ordered = samples.clone();
+        ordered.push(bad.clone());
+        let baseline = calculate_criteria(&ordered, 0.95, CentroidMethod::Medoid).unwrap();
+
+        let mut rotated = samples;
+        rotated.rotate_left(rotate % 12);
+        rotated.insert(rotate % 13, bad);
+        let permuted = calculate_criteria(&rotated, 0.95, CentroidMethod::Medoid).unwrap();
+
+        prop_assert_eq!(baseline.defects.len(), permuted.defects.len());
+    }
+
+    /// Node measurement determinism: same id/spec/seed gives identical
+    /// benchmark samples; repair after arbitrary faults restores health.
+    #[test]
+    fn repair_restores_all_measurable_paths(severity in 0.1f64..0.5, seed in 0u64..300) {
+        let mut reference = NodeSim::new(NodeId(1), NodeSpec::h100_8x(), seed);
+        let mut node = NodeSim::new(NodeId(1), NodeSpec::h100_8x(), seed);
+        node.inject_fault(FaultKind::GpuComputeDegraded { severity });
+        node.inject_fault(FaultKind::DiskSlow { severity });
+        node.inject_fault(FaultKind::NvLinkLanesDown { lanes: 50 });
+        node.repair_all();
+        prop_assert!(!node.has_detectable_defect());
+        prop_assert!(!node.has_hidden_damage());
+        // Post-repair measurements match a never-faulted twin (same RNG
+        // stream position is not guaranteed, so compare deterministic
+        // effective rates instead).
+        prop_assert_eq!(
+            node.effective_tflops(anubis::hwsim::Precision::Fp16),
+            reference.effective_tflops(anubis::hwsim::Precision::Fp16)
+        );
+        let healthy = run_benchmark(BenchmarkId::GpuGemmFp16, &mut reference).unwrap();
+        let repaired = run_benchmark(BenchmarkId::GpuGemmFp16, &mut node).unwrap();
+        let diff = (healthy.mean() - repaired.mean()).abs() / healthy.mean();
+        prop_assert!(diff < 0.01, "repaired node at nominal: {diff}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: the full validation pipeline catches every
+//! fault class through the benchmark that should see it.
+
+use anubis::hwsim::{FaultKind, NodeId, NodeSim, NodeSpec};
+use anubis::netsim::{FatTree, FatTreeConfig};
+use anubis::{Anubis, AnubisConfig, ValidationEvent};
+use anubis_benchsuite::BenchmarkId;
+
+fn fleet(n: u32, seed: u64) -> (Vec<NodeSim>, Vec<usize>) {
+    let nodes = (0..n)
+        .map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), seed))
+        .collect();
+    (nodes, (0..n as usize).collect())
+}
+
+/// Each injectable fault class, the node that carries it, and a benchmark
+/// expected to flag it.
+fn fault_matrix() -> Vec<(FaultKind, BenchmarkId)> {
+    vec![
+        (
+            FaultKind::GpuComputeDegraded { severity: 0.3 },
+            BenchmarkId::GpuGemmFp16,
+        ),
+        (
+            FaultKind::GpuMemoryBandwidthDegraded { severity: 0.3 },
+            BenchmarkId::GpuCopyBandwidth,
+        ),
+        (
+            FaultKind::PcieDowngrade { severity: 0.5 },
+            BenchmarkId::GpuH2dBandwidth,
+        ),
+        (
+            FaultKind::HcaDegraded { severity: 0.4 },
+            BenchmarkId::IbHcaLoopback,
+        ),
+        (
+            FaultKind::CpuMemoryLatency { severity: 0.3 },
+            BenchmarkId::CpuLatency,
+        ),
+        (
+            FaultKind::DiskSlow { severity: 0.5 },
+            BenchmarkId::DiskSeqRead,
+        ),
+        (
+            FaultKind::OverlapInterference { severity: 0.3 },
+            BenchmarkId::MatmulAllReduceOverlap,
+        ),
+        (
+            FaultKind::KernelLaunchOverhead { severity: 0.5 },
+            BenchmarkId::KernelLaunch,
+        ),
+        (
+            FaultKind::ThermalThrottle { severity: 0.25 },
+            BenchmarkId::GpuBurn,
+        ),
+    ]
+}
+
+#[test]
+fn every_fault_class_is_caught_by_its_benchmark() {
+    let matrix = fault_matrix();
+    let (mut nodes, members) = fleet(matrix.len() as u32 + 12, 99);
+    // Inject fault k on node k; the remaining 12 nodes stay healthy.
+    for (k, (fault, _)) in matrix.iter().enumerate() {
+        nodes[k].inject_fault(*fault);
+    }
+    let mut system = Anubis::new(AnubisConfig::default());
+    let outcome = system
+        .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+        .expect("build-out validation");
+    for (k, (fault, _)) in matrix.iter().enumerate() {
+        assert!(
+            outcome.defective.contains(&NodeId(k as u32)),
+            "node {k} with {fault:?} must be flagged"
+        );
+    }
+    // Healthy nodes pass.
+    for k in matrix.len()..nodes.len() {
+        assert!(
+            !outcome.defective.contains(&NodeId(k as u32)),
+            "healthy node {k} must not be flagged"
+        );
+    }
+}
+
+#[test]
+fn flagging_benchmark_matches_fault_class() {
+    // Validate one defective node at a time against criteria learned from
+    // a healthy cohort, and check the *right* benchmark flags it.
+    let (mut cohort, members) = fleet(14, 5);
+    let mut system = Anubis::new(AnubisConfig::default());
+    system
+        .handle_event(&ValidationEvent::NodesAdded, &mut cohort, &members, None)
+        .expect("bootstrap");
+
+    for (fault, expected_bench) in fault_matrix() {
+        let mut probe = vec![NodeSim::new(NodeId(777), NodeSpec::a100_8x(), 5)];
+        probe[0].inject_fault(fault);
+        let report = system
+            .validator()
+            .validate(&[expected_bench], &mut probe, &[0], None)
+            .expect("single-benchmark validation");
+        assert!(
+            report
+                .flagged
+                .get(&NodeId(777))
+                .is_some_and(|b| b.contains(&expected_bench)),
+            "{expected_bench} must flag {fault:?}: {:?}",
+            report.flagged
+        );
+    }
+}
+
+#[test]
+fn masked_redundancy_loss_passes_validation_until_it_does_not() {
+    let (mut cohort, members) = fleet(14, 13);
+    let mut system = Anubis::new(AnubisConfig::default());
+    system
+        .handle_event(&ValidationEvent::NodesAdded, &mut cohort, &members, None)
+        .expect("bootstrap");
+
+    // Within the masking budget: gray state, validation passes.
+    let mut probe = vec![NodeSim::new(NodeId(500), NodeSpec::a100_8x(), 13)];
+    probe[0].inject_fault(FaultKind::NvLinkLanesDown { lanes: 10 });
+    assert!(probe[0].has_hidden_damage());
+    let report = system
+        .validator()
+        .validate(&[BenchmarkId::NvlinkAllReduce], &mut probe, &[0], None)
+        .expect("validation");
+    assert!(
+        report.flagged.is_empty(),
+        "masked damage is invisible: {:?}",
+        report.flagged
+    );
+
+    // Past the budget: the same benchmark now flags it.
+    probe[0].inject_fault(FaultKind::NvLinkLanesDown { lanes: 40 });
+    let report = system
+        .validator()
+        .validate(&[BenchmarkId::NvlinkAllReduce], &mut probe, &[0], None)
+        .expect("validation");
+    assert!(
+        report.flagged.contains_key(&NodeId(500)),
+        "visible damage must be flagged"
+    );
+}
+
+#[test]
+fn multi_node_phase_catches_network_faults() {
+    let fabric = FatTree::build(FatTreeConfig::figure3_testbed()).expect("testbed");
+    let (mut cohort, members) = fleet(12, 21);
+    let mut system = Anubis::new(AnubisConfig::default());
+    system
+        .handle_event(
+            &ValidationEvent::NodesAdded,
+            &mut cohort,
+            &members,
+            Some(&fabric),
+        )
+        .expect("bootstrap with fabric");
+
+    let mut nodes: Vec<NodeSim> = (0..4)
+        .map(|i| NodeSim::new(NodeId(100 + i), NodeSpec::a100_8x(), 21))
+        .collect();
+    nodes[1].inject_fault(FaultKind::IbLinkBer { severity: 0.5 });
+    let report = system
+        .validator()
+        .validate(
+            &[BenchmarkId::MultiNodeAllReduce],
+            &mut nodes,
+            &[0, 1, 2, 3],
+            Some(&fabric),
+        )
+        .expect("multi-node validation");
+    assert!(
+        report.flagged.contains_key(&NodeId(101)),
+        "bad NIC caught in the multi-node phase: {:?}",
+        report.flagged
+    );
+}

@@ -1,0 +1,61 @@
+//! Smoke tests over the experiment harness: every cheap experiment runs in
+//! its quick configuration and reproduces the paper's qualitative shape.
+//! (The heavier experiments are covered by their own module tests inside
+//! `anubis-bench`.)
+
+use anubis_bench::experiments::{appendix_a, fig1, fig2, fig3, fig5, fig6};
+
+#[test]
+fn fig1_shape() {
+    let result = fig1::run(&fig1::Fig1Config::quick());
+    assert!(result.shares.len() >= 8);
+    assert!(result.total_incidents > 50);
+}
+
+#[test]
+fn fig2_shape() {
+    let result = fig2::run(&fig2::Fig2Config::quick());
+    let over_day = result
+        .exceedance
+        .iter()
+        .find(|(h, _, _)| *h == 24.0)
+        .unwrap()
+        .2;
+    assert!(
+        (0.3..0.5).contains(&over_day),
+        "38.1%-ish of tickets run past a day"
+    );
+}
+
+#[test]
+fn fig3_shape() {
+    let result = fig3::run(&fig3::Fig3Config::quick());
+    // Who wins: the healthy-redundancy scenario has no slow tail, the
+    // degraded one does.
+    assert!(result.degraded_fraction_below(180.0) > 0.05);
+    assert!(result.healthy_bandwidths.iter().all(|&b| b >= 180.0));
+}
+
+#[test]
+fn fig5_shape() {
+    let result = fig5::run(&fig5::Fig5Config::quick());
+    assert!(result.transformer_share > 0.3, "Transformers dominate");
+    assert!((0.3..0.42).contains(&result.unidentified_transformer_fraction));
+}
+
+#[test]
+fn fig6_shape() {
+    let result = fig6::run(&fig6::Fig6Config::quick());
+    // The paper's point: the strawmen false-positive, the criteria do not.
+    assert!(result.lof.false_positives + result.ocsvm.false_positives > 0);
+    assert_eq!(result.criteria.false_positives, 0);
+}
+
+#[test]
+fn appendix_a_shape() {
+    let result = appendix_a::run(&appendix_a::AppendixAConfig::quick());
+    let small = result.scales.first().unwrap();
+    let big = result.scales.last().unwrap();
+    assert!(big.full_rounds > small.full_rounds, "full scan is O(n)");
+    assert_eq!(big.quick_rounds, small.quick_rounds, "quick scan is O(1)");
+}
