@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full CI gate for the workspace. Every step must pass; the same sequence
+# runs in .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (denied warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> invariant lint (anubis-xtask)"
+cargo run -p anubis-xtask --offline -- lint
+
+echo "==> release build"
+cargo build --release --offline
+
+echo "==> tests"
+cargo test -q --workspace --release --offline
+
+echo "==> CI gate passed"

@@ -21,7 +21,7 @@ use std::hint::black_box;
 
 fn series_sample(seed: u64, len: usize) -> Sample {
     let values: Vec<f64> = (0..len)
-        .map(|i| 100.0 + ((i as u64 * 2654435761 ^ seed) % 1000) as f64 / 500.0)
+        .map(|i| 100.0 + (((i as u64 * 2654435761) ^ seed) % 1000) as f64 / 500.0)
         .collect();
     Sample::new(values).unwrap()
 }
@@ -30,7 +30,7 @@ fn bench_distance(c: &mut Criterion) {
     let a = series_sample(1, 512);
     let b = series_sample(2, 512);
     c.bench_function("cdf_distance/512x512", |bencher| {
-        bencher.iter(|| black_box(cdf_distance(black_box(&a), black_box(&b))))
+        bencher.iter(|| black_box(cdf_distance(black_box(&a), black_box(&b))));
     });
     c.bench_function("one_sided_distance/512x512", |bencher| {
         bencher.iter(|| {
@@ -39,7 +39,7 @@ fn bench_distance(c: &mut Criterion) {
                 black_box(&b),
                 Direction::HigherIsBetter,
             ))
-        })
+        });
     });
 }
 
@@ -50,7 +50,7 @@ fn bench_criteria(c: &mut Criterion) {
             black_box(
                 calculate_criteria(black_box(&samples), 0.95, CentroidMethod::Medoid).unwrap(),
             )
-        })
+        });
     });
     c.bench_function("criteria/distribution-mean/96nodes", |bencher| {
         bencher.iter(|| {
@@ -58,7 +58,7 @@ fn bench_criteria(c: &mut Criterion) {
                 calculate_criteria(black_box(&samples), 0.95, CentroidMethod::DistributionMean)
                     .unwrap(),
             )
-        })
+        });
     });
 }
 
@@ -81,7 +81,7 @@ fn bench_selection(c: &mut Criterion) {
                 &BenchmarkId::ALL,
                 0.05,
             ))
-        })
+        });
     });
 }
 
@@ -102,27 +102,27 @@ fn bench_coxtime(c: &mut Criterion) {
     );
     let status = samples[0].status.clone();
     c.bench_function("coxtime/expected_tbni", |bencher| {
-        bencher.iter(|| black_box(model.expected_tbni(black_box(&status))))
+        bencher.iter(|| black_box(model.expected_tbni(black_box(&status))));
     });
     c.bench_function("coxtime/incident_probability", |bencher| {
-        bencher.iter(|| black_box(model.incident_probability(black_box(&status), 36.0)))
+        bencher.iter(|| black_box(model.incident_probability(black_box(&status), 36.0)));
     });
 }
 
 fn bench_network(c: &mut Criterion) {
     c.bench_function("scan/full/256nodes", |bencher| {
-        bencher.iter(|| black_box(full_scan_rounds(black_box(256))))
+        bencher.iter(|| black_box(full_scan_rounds(black_box(256))));
     });
     let mut cfg = FatTreeConfig::figure3_testbed();
     cfg.nodes = 768;
     let tree = FatTree::build(cfg).unwrap();
     c.bench_function("scan/quick/768nodes", |bencher| {
-        bencher.iter(|| black_box(quick_scan_rounds(black_box(&tree)).unwrap()))
+        bencher.iter(|| black_box(quick_scan_rounds(black_box(&tree)).unwrap()));
     });
     let small = FatTree::build(FatTreeConfig::figure3_testbed()).unwrap();
     let pairs: Vec<(usize, usize)> = (0..12).map(|i| (i, i + 12)).collect();
     c.bench_function("congestion/24node-pairs", |bencher| {
-        bencher.iter(|| black_box(concurrent_pair_bandwidths(&small, black_box(&pairs)).unwrap()))
+        bencher.iter(|| black_box(concurrent_pair_bandwidths(&small, black_box(&pairs)).unwrap()));
     });
 }
 
@@ -145,14 +145,14 @@ fn bench_executor(c: &mut Criterion) {
             fleet,
             |mut nodes| black_box(run_set(&set, &mut nodes, &members, None).unwrap()),
             BatchSize::SmallInput,
-        )
+        );
     });
     c.bench_function("executor/parallel-8/16nodes-4benchmarks", |bencher| {
         bencher.iter_batched(
             fleet,
             |mut nodes| black_box(run_set_parallel(&set, &mut nodes, 8).unwrap()),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -160,7 +160,7 @@ fn bench_json(c: &mut Criterion) {
     use anubis_metrics::json::to_json;
     let sample = series_sample(9, 1024);
     c.bench_function("json/serialize-1024-sample", |bencher| {
-        bencher.iter(|| black_box(to_json(black_box(&sample)).unwrap()))
+        bencher.iter(|| black_box(to_json(black_box(&sample)).unwrap()));
     });
 }
 
@@ -179,7 +179,7 @@ fn bench_cluster_sim(c: &mut Criterion) {
             || (config.clone(), trace.clone()),
             |(cfg, t)| black_box(simulate(&cfg, &t, &Policy::Absence)),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

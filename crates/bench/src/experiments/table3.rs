@@ -50,12 +50,13 @@ impl Table3Config {
             nodes: 150,
             grid_hours: 96.0,
             coxtime: CoxTimeConfig {
-                epochs: 30,
+                epochs: 60,
                 hidden: vec![24, 24],
+                controls_per_event: 6,
                 baseline_buckets: 64,
                 ..CoxTimeConfig::default()
             },
-            max_training_samples: 3_000,
+            max_training_samples: 4_000,
             ..Self::default()
         }
     }

@@ -33,7 +33,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let headers_owned: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&render_row(&headers_owned, &widths));
     out.push('|');
     for w in &widths {

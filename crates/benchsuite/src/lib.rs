@@ -12,6 +12,11 @@
 //! [`BenchmarkId`] enumerates the suite; [`runner`] executes (sub)sets in
 //! the paper's two-phase order.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod id;
 pub mod parallel;
 pub mod runner;

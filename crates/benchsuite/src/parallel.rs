@@ -3,16 +3,26 @@
 //! Validation runs the same benchmark on every node simultaneously in
 //! production (the nodes are independent machines); this module gives the
 //! simulator the same shape by fanning single-node benchmarks out across
-//! OS threads with [`crossbeam::thread::scope`] and collecting results
-//! under a [`parking_lot::Mutex`].
+//! OS threads with [`std::thread::scope`] and collecting results under a
+//! [`std::sync::Mutex`].
 
 use crate::id::{BenchmarkId, Phase};
 use crate::runner::{run_benchmark, RunData, SuiteError};
 use anubis_hwsim::NodeSim;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Per-node benchmark rows collected by a worker, keyed by fleet index.
 type NodeRows = (usize, Vec<(BenchmarkId, anubis_metrics::Sample)>);
+
+/// Locks a mutex, recovering the data if a worker panicked while holding
+/// it. Partial rows from a panicked worker are harmless: the scope
+/// re-raises the panic after all workers finish, so the data is never
+/// returned to the caller.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Runs a set of **single-node** benchmarks over all nodes, parallelizing
 /// across nodes.
@@ -42,36 +52,36 @@ pub fn run_set_parallel(
     let results: Mutex<Vec<NodeRows>> = Mutex::new(Vec::with_capacity(nodes.len()));
     let errors: Mutex<Vec<SuiteError>> = Mutex::new(Vec::new());
 
-    // Hand each worker a disjoint chunk of nodes.
+    // Hand each worker a disjoint chunk of nodes. The scope joins every
+    // worker before returning and re-raises any worker panic.
     let chunk_size = nodes.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, chunk) in nodes.chunks_mut(chunk_size).enumerate() {
             let results = &results;
             let errors = &errors;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, node) in chunk.iter_mut().enumerate() {
                     let mut rows = Vec::with_capacity(set.len());
                     for &bench in set {
                         match run_benchmark(bench, node) {
                             Ok(sample) => rows.push((bench, sample)),
                             Err(e) => {
-                                errors.lock().push(e);
+                                lock_recover(errors).push(e);
                                 return;
                             }
                         }
                     }
-                    results.lock().push((chunk_idx * chunk_size + offset, rows));
+                    lock_recover(results).push((chunk_idx * chunk_size + offset, rows));
                 }
             });
         }
-    })
-    .expect("benchmark worker panicked");
+    });
 
-    if let Some(error) = errors.into_inner().into_iter().next() {
+    if let Some(error) = lock_recover(&errors).drain(..).next() {
         return Err(error);
     }
     // Assemble in deterministic node order.
-    let mut collected = results.into_inner();
+    let mut collected = std::mem::take(&mut *lock_recover(&results));
     collected.sort_by_key(|(idx, _)| *idx);
     let mut data = RunData::default();
     for (idx, rows) in collected {

@@ -21,7 +21,12 @@ pub enum SuiteError {
     /// The node set was empty.
     EmptyNodeSet,
     /// `members` and `nodes` disagreed in length.
-    MemberMismatch { nodes: usize, members: usize },
+    MemberMismatch {
+        /// Number of nodes supplied.
+        nodes: usize,
+        /// Number of member indices supplied.
+        members: usize,
+    },
     /// Malformed measurements (should not happen with the simulator).
     Metrics(MetricsError),
     /// Topology error from the fabric.
@@ -134,7 +139,9 @@ pub fn run_benchmark(id: BenchmarkId, node: &mut NodeSim) -> Result<Sample, Suit
         return Err(SuiteError::PhaseMismatch(id));
     }
     let values = match id {
-        BenchmarkId::KernelLaunch => repeat(node, 64, |n| n.measure_kernel_launch_us()),
+        BenchmarkId::KernelLaunch => {
+            repeat(node, 64, anubis_hwsim::NodeSim::measure_kernel_launch_us)
+        }
         BenchmarkId::GpuGemmFp32 => repeat(node, MICRO_REPS, |n| {
             n.measure_gemm_tflops(Precision::Fp32, 8192)
         }),
@@ -162,14 +169,26 @@ pub fn run_benchmark(id: BenchmarkId, node: &mut NodeSim) -> Result<Sample, Suit
         BenchmarkId::GpuBurn => repeat(node, MICRO_REPS, |n| {
             n.measure_gpu_burn_tflops(Precision::Fp16)
         }),
-        BenchmarkId::CpuLatency => repeat(node, 64, |n| n.measure_cpu_latency_ns()),
-        BenchmarkId::GpuH2dBandwidth => repeat(node, MICRO_REPS, |n| n.measure_h2d_gbps()),
-        BenchmarkId::GpuD2hBandwidth => repeat(node, MICRO_REPS, |n| n.measure_d2h_gbps()),
-        BenchmarkId::GpuCopyBandwidth => repeat(node, MICRO_REPS, |n| n.measure_gpu_copy_gbps()),
+        BenchmarkId::CpuLatency => repeat(node, 64, anubis_hwsim::NodeSim::measure_cpu_latency_ns),
+        BenchmarkId::GpuH2dBandwidth => {
+            repeat(node, MICRO_REPS, anubis_hwsim::NodeSim::measure_h2d_gbps)
+        }
+        BenchmarkId::GpuD2hBandwidth => {
+            repeat(node, MICRO_REPS, anubis_hwsim::NodeSim::measure_d2h_gbps)
+        }
+        BenchmarkId::GpuCopyBandwidth => repeat(
+            node,
+            MICRO_REPS,
+            anubis_hwsim::NodeSim::measure_gpu_copy_gbps,
+        ),
         BenchmarkId::NvlinkAllReduce => repeat(node, MICRO_REPS, |n| {
             n.measure_nvlink_allreduce_gbps(64 << 20)
         }),
-        BenchmarkId::IbHcaLoopback => repeat(node, MICRO_REPS, |n| n.measure_hca_loopback_gbps()),
+        BenchmarkId::IbHcaLoopback => repeat(
+            node,
+            MICRO_REPS,
+            anubis_hwsim::NodeSim::measure_hca_loopback_gbps,
+        ),
         BenchmarkId::IbSingleNodeAllReduce => repeat(node, MICRO_REPS, |n| {
             n.measure_ib_single_node_allreduce_gbps()
         }),

@@ -69,12 +69,18 @@ pub fn sweep_nvlink_allreduce(node: &mut NodeSim, sizes: &[u64], saturation: f64
         })
         .collect();
     points.sort_by_key(|p| p.bytes);
-    let plateau = points.last().expect("non-empty").bandwidth;
+    // The assert above guarantees a last point; the fallback value is
+    // unreachable and only keeps this path panic-free.
+    let last = points.last().copied().unwrap_or(SweepPoint {
+        bytes: 0,
+        bandwidth: 0.0,
+    });
+    let plateau = last.bandwidth;
     let threshold = plateau * saturation.clamp(0.0, 1.0);
     let saturation_bytes = points
         .iter()
         .find(|p| p.bandwidth >= threshold)
-        .map_or_else(|| points.last().expect("non-empty").bytes, |p| p.bytes);
+        .map_or(last.bytes, |p| p.bytes);
     SweepResult {
         points,
         saturation_bytes,

@@ -64,10 +64,10 @@ proptest! {
         let d = run_benchmark(bench, &mut defective).unwrap();
         match bench.spec().direction {
             Direction::HigherIsBetter => {
-                prop_assert!(d.mean() < h.mean() * 0.9, "{bench}: {} vs {}", d.mean(), h.mean())
+                prop_assert!(d.mean() < h.mean() * 0.9, "{bench}: {} vs {}", d.mean(), h.mean());
             }
             Direction::LowerIsBetter => {
-                prop_assert!(d.mean() > h.mean() * 1.1, "{bench}: {} vs {}", d.mean(), h.mean())
+                prop_assert!(d.mean() > h.mean() * 1.1, "{bench}: {} vs {}", d.mean(), h.mean());
             }
         }
     }

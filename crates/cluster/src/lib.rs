@@ -11,6 +11,11 @@
 //! (with a per-day timeline), average validation time per node, MTBI and
 //! incidents per node.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod policy;
 pub mod sim;
 

@@ -164,11 +164,11 @@ impl Policy<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anubis_hwsim::testutil::seeded_rng;
     use anubis_selector::{ExponentialModel, SelectorConfig};
-    use rand::SeedableRng;
 
     fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(1)
+        seeded_rng(1)
     }
 
     fn coverage_table() -> CoverageTable {

@@ -38,6 +38,21 @@ impl IncidentCategory {
         IncidentCategory::Software,
     ];
 
+    /// Index of this category in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Self::GpuCompute => 0,
+            Self::GpuMemory => 1,
+            Self::NvLink => 2,
+            Self::IbLink => 3,
+            Self::Nic => 4,
+            Self::Pcie => 5,
+            Self::CpuMemory => 6,
+            Self::Disk => 7,
+            Self::Software => 8,
+        }
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -61,33 +76,69 @@ impl IncidentCategory {
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub enum FaultKind {
     /// SM/clock degradation: GEMM and end-to-end compute slow down.
-    GpuComputeDegraded { severity: f64 },
+    GpuComputeDegraded {
+        /// Fractional compute slowdown in `[0, 1]`.
+        severity: f64,
+    },
     /// Sustained thermal throttling (warm rack position).
-    ThermalThrottle { severity: f64 },
+    ThermalThrottle {
+        /// Fractional throttling intensity in `[0, 1]`.
+        severity: f64,
+    },
     /// HBM bandwidth loss visible to copy and memory-bound kernels.
-    GpuMemoryBandwidthDegraded { severity: f64 },
+    GpuMemoryBandwidthDegraded {
+        /// Fractional bandwidth loss in `[0, 1]`.
+        severity: f64,
+    },
     /// New correctable errors absorbed by row remapping. May or may not
     /// produce an end-to-end regression (Table 1); the draw happens at
     /// injection time inside [`crate::NodeSim`].
-    RowRemapErrors { correctable_errors: u32 },
+    RowRemapErrors {
+        /// Count of newly absorbed correctable errors.
+        correctable_errors: u32,
+    },
     /// Broken NVLink/xGMI lanes (redundancy-masked until past budget).
-    NvLinkLanesDown { lanes: u32 },
+    NvLinkLanesDown {
+        /// Number of lanes out of service.
+        lanes: u32,
+    },
     /// PCIe link downgrade (e.g. x16 → x8).
-    PcieDowngrade { severity: f64 },
+    PcieDowngrade {
+        /// Fractional link-width loss in `[0, 1]`.
+        severity: f64,
+    },
     /// High bit-error-rate InfiniBand link: retransmits eat bandwidth.
-    IbLinkBer { severity: f64 },
+    IbLinkBer {
+        /// Fractional goodput loss from retransmits in `[0, 1]`.
+        severity: f64,
+    },
     /// HCA device problem visible in loopback.
-    HcaDegraded { severity: f64 },
+    HcaDegraded {
+        /// Fractional HCA throughput loss in `[0, 1]`.
+        severity: f64,
+    },
     /// Host DRAM latency regression (bad DIMM / NUMA misconfig).
-    CpuMemoryLatency { severity: f64 },
+    CpuMemoryLatency {
+        /// Fractional latency increase in `[0, 1]`.
+        severity: f64,
+    },
     /// Slow local disk.
-    DiskSlow { severity: f64 },
+    DiskSlow {
+        /// Fractional disk throughput loss in `[0, 1]`.
+        severity: f64,
+    },
     /// The Section 2.1 gray failure: computation and communication are
     /// individually nominal, but L2-cache interference degrades their
     /// overlap.
-    OverlapInterference { severity: f64 },
+    OverlapInterference {
+        /// Fractional overlap-efficiency loss in `[0, 1]`.
+        severity: f64,
+    },
     /// Kernel-launch path regression (driver/software).
-    KernelLaunchOverhead { severity: f64 },
+    KernelLaunchOverhead {
+        /// Fractional launch-overhead increase in `[0, 1]`.
+        severity: f64,
+    },
 }
 
 impl FaultKind {
@@ -217,12 +268,12 @@ impl FaultKind {
                 impact.network_bandwidth = keep(severity * 0.8);
             }
             Self::CpuMemoryLatency { severity } => {
-                impact.cpu_latency = 1.0 / keep(severity).max(1e-3)
+                impact.cpu_latency = 1.0 / keep(severity).max(1e-3);
             }
             Self::DiskSlow { severity } => impact.disk = keep(severity),
             Self::OverlapInterference { severity } => impact.overlap = keep(severity),
             Self::KernelLaunchOverhead { severity } => {
-                impact.kernel_launch = 1.0 / keep(severity).max(1e-3)
+                impact.kernel_launch = 1.0 / keep(severity).max(1e-3);
             }
         }
         impact

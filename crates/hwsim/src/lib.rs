@@ -22,12 +22,18 @@
 //! The entry point is [`NodeSim`]; [`spec`] holds SKU presets; [`fault`]
 //! the injectable defect library.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod fault;
 pub mod health;
 pub mod node;
 pub mod noise;
 pub mod perf;
 pub mod spec;
+pub mod testutil;
 pub mod wear;
 
 pub use fault::{FaultImpact, FaultKind};

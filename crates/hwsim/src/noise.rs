@@ -79,10 +79,9 @@ pub fn weibull(rng: &mut ChaCha8Rng, shape: f64, scale: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(12345)
+        crate::testutil::seeded_rng(12345)
     }
 
     #[test]

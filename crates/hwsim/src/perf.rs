@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn bandwidth_saturates_with_message_size() {
         let half = 1 << 20;
-        assert!((bandwidth_efficiency(half as u64, half) - 0.485).abs() < 0.01);
+        assert!((bandwidth_efficiency(half, half) - 0.485).abs() < 0.01);
         assert!(bandwidth_efficiency(1 << 30, half) > 0.95);
         assert!(bandwidth_efficiency(1024, half) < 0.01);
     }

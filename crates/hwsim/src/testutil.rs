@@ -1,0 +1,17 @@
+//! Shared test support.
+//!
+//! Deterministic RNG construction used by unit tests across the workspace
+//! (previously copy-pasted into each crate's test module). Kept in the
+//! library proper — rather than behind `#[cfg(test)]` — so downstream
+//! crates' tests can reuse it.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic [`ChaCha8Rng`] for tests, seeded from a fixed value.
+///
+/// Every simulation and test in the workspace derives its randomness from
+/// an explicit seed; this is the single place tests construct theirs.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -279,10 +279,10 @@ mod tests {
     fn pairwise_matrix_symmetric_unit_diagonal() {
         let samples = vec![sample(&[1.0, 2.0]), sample(&[1.5, 2.5]), sample(&[10.0])];
         let m = pairwise_similarity_matrix(&samples);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-12);
             }
         }
     }

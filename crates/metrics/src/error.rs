@@ -16,20 +16,47 @@ pub enum MetricsError {
     /// is required.
     EmptySample,
     /// A measurement was NaN or infinite.
-    NonFinite { index: usize, value: f64 },
+    NonFinite {
+        /// Position of the offending measurement in its input.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// A measurement was negative where only non-negative metrics (latency,
     /// throughput, bandwidth) are meaningful.
-    NegativeValue { index: usize, value: f64 },
+    NegativeValue {
+        /// Position of the offending measurement in its input.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// An algorithm needs at least `required` data points but only `actual`
     /// were supplied.
-    InsufficientData { required: usize, actual: usize },
+    InsufficientData {
+        /// Minimum number of data points the algorithm needs.
+        required: usize,
+        /// Number of data points actually supplied.
+        actual: usize,
+    },
     /// Input vectors that must share a dimension did not.
-    DimensionMismatch { expected: usize, actual: usize },
+    DimensionMismatch {
+        /// Dimension the first input established.
+        expected: usize,
+        /// Dimension of the mismatching input.
+        actual: usize,
+    },
     /// A tuning parameter was outside its documented domain.
-    InvalidParameter { name: &'static str, message: String },
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Why the supplied value is invalid.
+        message: String,
+    },
     /// An iterative algorithm failed to converge within its iteration budget.
     NoConvergence {
+        /// Which algorithm gave up.
         algorithm: &'static str,
+        /// Iterations performed before giving up.
         iterations: usize,
     },
 }

@@ -51,7 +51,7 @@ impl Sample {
             }
         }
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Self { values, sorted })
     }
 
@@ -88,7 +88,7 @@ impl Sample {
 
     /// Largest measurement.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty by construction")
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// Arithmetic mean.

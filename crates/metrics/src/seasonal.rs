@@ -186,7 +186,7 @@ mod tests {
             assert!((t - 50.0).abs() < 0.5, "trend {t}");
         }
         // Seasonal amplitude should be close to the sine amplitude.
-        let max_seasonal = d.seasonal.iter().cloned().fold(f64::MIN, f64::max);
+        let max_seasonal = d.seasonal.iter().copied().fold(f64::MIN, f64::max);
         assert!(
             (max_seasonal - 3.0).abs() < 0.5,
             "seasonal max {max_seasonal}"

@@ -49,7 +49,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Quantile of an arbitrary-order slice (sorts a copy).
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 

@@ -61,7 +61,7 @@ proptest! {
         // Scale-invariance: the normalized distance depends only on relative
         // shape, so scaling both samples by the same factor is a no-op.
         let a = Sample::new(values.clone()).unwrap();
-        let b = Sample::new(values.iter().rev().cloned().collect()).unwrap();
+        let b = Sample::new(values.iter().rev().copied().collect()).unwrap();
         let scaled_a = Sample::new(values.iter().map(|v| v * scale).collect()).unwrap();
         let scaled_b =
             Sample::new(values.iter().rev().map(|v| v * scale).collect()).unwrap();

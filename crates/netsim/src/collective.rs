@@ -49,7 +49,7 @@ pub fn ring_allreduce_busbw(tree: &FatTree, ring: &[usize]) -> Result<f64, NetEr
         flows.push(Flow::new(tree.path(a, b)?));
     }
     let rates = max_min_rates(&flows, |e| tree.capacity_gbps(e));
-    let min_rate = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
     Ok(min_rate / 8.0 * PROTOCOL_EFFICIENCY)
 }
 
@@ -86,7 +86,7 @@ pub fn all_to_all_completion_s(
         }
     }
     let rates = max_min_rates(&flows, |e| tree.capacity_gbps(e));
-    let slowest = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let slowest = rates.iter().copied().fold(f64::INFINITY, f64::min);
     if slowest <= 0.0 {
         return Ok(f64::INFINITY);
     }
@@ -118,7 +118,7 @@ pub fn tree_allreduce_busbw(tree: &FatTree, members: &[usize]) -> Result<f64, Ne
         flows.push(Flow::new(tree.path(parent, child)?)); // broadcast
     }
     let rates = max_min_rates(&flows, |e| tree.capacity_gbps(e));
-    let min_rate = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
     Ok(min_rate / 8.0 * PROTOCOL_EFFICIENCY)
 }
 

@@ -14,6 +14,11 @@
 //! - [`scan`]: Appendix A's O(n) circle-method full pairwise scan and the
 //!   O(1) topology-aware quick scan.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod collective;
 pub mod congestion;
 pub mod permutation;

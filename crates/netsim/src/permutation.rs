@@ -29,7 +29,7 @@ impl PermutationSpread {
     pub fn best(&self) -> f64 {
         self.bandwidths
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -37,7 +37,7 @@ impl PermutationSpread {
     pub fn worst(&self) -> f64 {
         self.bandwidths
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::INFINITY, f64::min)
     }
 
@@ -73,7 +73,7 @@ pub fn ring_permutation_spread(
         order.shuffle(&mut rng);
         bandwidths.push(ring_allreduce_busbw(tree, &order)?);
     }
-    let best = bandwidths.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let best = bandwidths.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let unaffected =
         bandwidths.iter().filter(|&&b| b >= best * 0.98).count() as f64 / bandwidths.len() as f64;
     Ok(PermutationSpread {

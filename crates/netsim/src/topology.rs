@@ -97,11 +97,20 @@ pub struct EdgeKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BundleKind {
     /// Node access bundle (all NICs of one node).
-    Access { node: usize },
+    Access {
+        /// Index of the node the bundle attaches.
+        node: usize,
+    },
     /// ToR uplink bundle (all parallel uplinks of one ToR).
-    TorUplink { tor: usize },
+    TorUplink {
+        /// Index of the top-of-rack switch.
+        tor: usize,
+    },
     /// Pod-to-core bundle.
-    PodCore { pod: usize },
+    PodCore {
+        /// Index of the pod.
+        pod: usize,
+    },
 }
 
 /// A group of parallel physical links treated as one capacity with

@@ -13,6 +13,11 @@
 //! - [`coverage`]: historical defect-coverage bookkeeping per benchmark;
 //! - [`select`]: Algorithm 1 — greedy Δp/t benchmark selection.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coverage;
 pub mod coxtime;
 pub mod select;

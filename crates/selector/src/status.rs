@@ -33,11 +33,7 @@ impl NodeStatus {
     /// clock.
     pub fn record_incident(&mut self, category: IncidentCategory) {
         self.incident_count += 1;
-        let idx = IncidentCategory::ALL
-            .iter()
-            .position(|c| *c == category)
-            .expect("category is one of ALL");
-        self.category_counts[idx] += 1;
+        self.category_counts[category.index()] += 1;
         self.hours_since_last_incident = 0.0;
     }
 

@@ -193,7 +193,7 @@ impl ExponentialPerHourModel {
     /// Fits the empirical survival curve.
     pub fn fit(samples: &[SurvivalSample]) -> Self {
         let mut durations: Vec<f64> = samples.iter().map(|s| s.duration).collect();
-        durations.sort_by(|a, b| a.total_cmp(b));
+        durations.sort_by(f64::total_cmp);
         Self { durations }
     }
 

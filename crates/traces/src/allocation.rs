@@ -87,7 +87,7 @@ fn sample_size(mix: &[(u32, f64)], rng: &mut ChaCha8Rng) -> u32 {
         }
         target -= weight;
     }
-    mix.last().map(|&(s, _)| s).unwrap_or(1)
+    mix.last().map_or(1, |&(s, _)| s)
 }
 
 #[cfg(test)]

@@ -82,11 +82,7 @@ pub fn encode_incident_trace(trace: &IncidentTrace) -> Bytes {
         buf.put_u32(event.node);
         buf.put_f64(event.start_hour);
         buf.put_f64(event.ticket_hours);
-        let index = IncidentCategory::ALL
-            .iter()
-            .position(|c| *c == event.category)
-            .expect("category in ALL") as u8;
-        buf.put_u8(index);
+        buf.put_u8(event.category.index() as u8);
     }
     buf.freeze()
 }

@@ -99,12 +99,9 @@ pub fn calculate_criteria(
             .collect();
         if newly_defective.is_empty() || newly_defective.len() == healthy.len() {
             // Stable, or excluding would empty the set: stop here.
-            let criteria = match method {
-                CentroidMethod::Medoid => samples[centroid_idx].clone(),
-                CentroidMethod::DistributionMean => {
-                    centroid_sample.expect("computed in this branch")
-                }
-            };
+            // `centroid_sample` is `Some` exactly for the distribution-
+            // mean method; the medoid method reads from the sample set.
+            let criteria = centroid_sample.unwrap_or_else(|| samples[centroid_idx].clone());
             defects.sort_unstable();
             return Ok(CriteriaResult {
                 criteria,
@@ -142,12 +139,9 @@ fn medoid_of(members: &[usize], similarity: &[Vec<f64>]) -> usize {
 /// The 1-D Wasserstein barycenter of the member samples: average of their
 /// quantile functions on a common grid.
 fn distribution_mean(samples: &[Sample], members: &[usize]) -> Result<Sample, MetricsError> {
-    debug_assert!(!members.is_empty());
-    let grid = members
-        .iter()
-        .map(|&i| samples[i].len())
-        .max()
-        .expect("non-empty");
+    let Some(grid) = members.iter().map(|&i| samples[i].len()).max() else {
+        return Err(MetricsError::EmptySample);
+    };
     let mut accum = vec![0.0f64; grid];
     for &i in members {
         let resampled = stats::resample_linear(samples[i].sorted(), grid);

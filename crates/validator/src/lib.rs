@@ -14,6 +14,11 @@
 //! - [`tuning`]: Appendix B — adaptive warmup/measurement-step search via
 //!   seasonal decomposition.
 
+// Panic-freedom: this crate runs in the fleet-facing validation path.
+// The xtask lint enforces the same invariant lexically; this makes the
+// compiler enforce it too (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod criteria;
 pub mod filter;
 pub mod history;

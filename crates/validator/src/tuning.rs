@@ -55,7 +55,10 @@ impl StepWindow {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TuningError {
     /// The series is too short to contain two cycles.
-    TooShort { length: usize },
+    TooShort {
+        /// Length of the supplied series.
+        length: usize,
+    },
     /// No run of consecutive self-similar cycles exists within α.
     NoStableWindow,
     /// Underlying statistics error.
@@ -207,7 +210,7 @@ mod tests {
     #[test]
     fn chaotic_series_has_no_stable_window() {
         // Exponentially growing: consecutive cycles are never similar.
-        let series: Vec<f64> = (0..128).map(|i| (1.05f64).powi(i as i32)).collect();
+        let series: Vec<f64> = (0..128).map(|i| (1.05f64).powi(i)).collect();
         assert!(matches!(
             search_step_window(&series, 0.99),
             Err(TuningError::NoStableWindow)

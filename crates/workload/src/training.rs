@@ -153,7 +153,7 @@ pub fn simulate_multi_node_training(
     let overlap = model.overlap_efficiency
         * nodes
             .iter()
-            .map(|n| n.overlap_factor())
+            .map(anubis_hwsim::NodeSim::overlap_factor)
             .fold(1.0f64, f64::min);
     let steady = overlapped_time_s(slowest_local, inter_comm, overlap);
     let global_batch = (model.batch_size_per_gpu * nodes[0].spec().gpus * nodes.len()) as f64;

@@ -1,0 +1,118 @@
+//! The checked-in lint allowlist.
+//!
+//! Some violations are intentional — the `repro` binary reports wall-clock
+//! runtimes, so it may use `Instant` — and are recorded in an allowlist
+//! file at the workspace root rather than silenced in code. Each
+//! non-comment line reads:
+//!
+//! ```text
+//! <check> <path> [substring]
+//! ```
+//!
+//! exempting diagnostics of `check` in `path` (workspace-relative, forward
+//! slashes) whose message contains `substring` (any message when omitted).
+
+use crate::checks::Diagnostic;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    check: String,
+    path: String,
+    pattern: Option<String>,
+}
+
+/// A parsed allowlist, ready to filter diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// An allowlist permitting nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses allowlist text; returns the 1-based line number and reason
+    /// of the first malformed line on failure.
+    pub fn parse(text: &str) -> Result<Self, (usize, String)> {
+        let mut entries = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(check), Some(path)) = (parts.next(), parts.next()) else {
+                return Err((
+                    index + 1,
+                    "expected `<check> <path> [substring]`".to_owned(),
+                ));
+            };
+            entries.push(Entry {
+                check: check.to_owned(),
+                path: path.to_owned(),
+                pattern: parts.next().map(|p| p.trim().to_owned()),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether `diagnostic` is exempted by some entry.
+    pub fn permits(&self, diagnostic: &Diagnostic) -> bool {
+        self.entries.iter().any(|entry| {
+            entry.check == diagnostic.check
+                && entry.path == diagnostic.path
+                && entry
+                    .pattern
+                    .as_ref()
+                    .map_or(true, |pattern| diagnostic.message.contains(pattern))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(check: &'static str, path: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_owned(),
+            line: 7,
+            check,
+            message: message.to_owned(),
+        }
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_entries() {
+        let list = Allowlist::parse(
+            "# header\n\ndeterminism crates/bench/src/bin/repro.rs Instant\nnan-safety crates/x/src/y.rs\n",
+        )
+        .expect("valid allowlist");
+        assert!(list.permits(&diag(
+            "determinism",
+            "crates/bench/src/bin/repro.rs",
+            "nondeterministic construct `Instant`"
+        )));
+        assert!(!list.permits(&diag(
+            "determinism",
+            "crates/bench/src/bin/repro.rs",
+            "nondeterministic construct `SystemTime`"
+        )));
+        assert!(list.permits(&diag("nan-safety", "crates/x/src/y.rs", "anything")));
+        assert!(!list.permits(&diag("panic-freedom", "crates/x/src/y.rs", "anything")));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = Allowlist::parse("determinism\n").unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn empty_permits_nothing() {
+        assert!(!Allowlist::empty().permits(&diag("determinism", "a.rs", "m")));
+    }
+}

@@ -1,0 +1,553 @@
+//! The four workspace invariants.
+//!
+//! Every check runs over masked source (see [`crate::mask`]) so tokens in
+//! comments and string literals never trip it, and skips `#[cfg(test)]`
+//! spans plus files under `tests/` or `benches/` where the invariants do
+//! not apply:
+//!
+//! 1. **determinism** — simulation code must derive all randomness and time
+//!    from explicit seeds; `thread_rng`, `from_entropy`, `SystemTime`, and
+//!    `Instant` are forbidden outside test code (the `repro` binary's
+//!    wall-clock reporting is exempted via the checked-in allowlist).
+//! 2. **panic-freedom** — the fleet-facing crates must not `.unwrap()`,
+//!    `.expect(…)`, `panic!` or `todo!` in library code; fallible paths
+//!    return `Result`.
+//! 3. **nan-safety** — no `partial_cmp(…).unwrap()` comparator chains (use
+//!    `f64::total_cmp`) and no `==`/`!=` against float literals other than
+//!    the exact sentinels `0.0` and `1.0`.
+//! 4. **doc-coverage** — every `src/` module opens with `//!` docs and
+//!    every plain-`pub` item carries a doc comment.
+
+use crate::mask::{mask, MaskedSource};
+use crate::spans::{in_test_span, test_spans, TestSpan};
+use std::fmt;
+
+/// Crates whose library code must be panic-free: everything that runs in
+/// the validation path on fleet nodes.
+pub const GATED_CRATES: &[&str] = &[
+    "benchsuite",
+    "validator",
+    "selector",
+    "cluster",
+    "hwsim",
+    "netsim",
+];
+
+/// Identifiers forbidden by the determinism invariant.
+const NONDETERMINISTIC_WORDS: &[&str] = &["thread_rng", "from_entropy", "SystemTime", "Instant"];
+
+/// One lint finding, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which check fired (`determinism`, `panic-freedom`, `nan-safety`,
+    /// `doc-coverage`).
+    pub check: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.check, self.message
+        )
+    }
+}
+
+/// How the checks treat a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Entirely test code (under a `tests/` or `benches/` directory):
+    /// every invariant is waived.
+    pub is_test_code: bool,
+    /// Library/binary source (under a `src/` directory): doc coverage and
+    /// NaN-safety apply.
+    pub in_src: bool,
+    /// Library code of a panic-gated crate: panic-freedom applies.
+    pub panic_gated: bool,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> FileClass {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    let is_test_code = components.iter().any(|c| *c == "tests" || *c == "benches");
+    let in_src = !is_test_code && components.contains(&"src");
+    let panic_gated = in_src
+        && components.first() == Some(&"crates")
+        && components.get(1).is_some_and(|c| GATED_CRATES.contains(c));
+    FileClass {
+        is_test_code,
+        in_src,
+        panic_gated,
+    }
+}
+
+/// Runs every applicable check on one file and returns its diagnostics,
+/// sorted by line.
+pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let class = classify(rel_path);
+    if class.is_test_code {
+        return Vec::new();
+    }
+    let masked = mask(source);
+    let spans = test_spans(&masked);
+    let mut diags = Vec::new();
+
+    check_determinism(rel_path, &masked, &spans, &mut diags);
+    if class.panic_gated {
+        check_panic_freedom(rel_path, &masked, &spans, &mut diags);
+    }
+    if class.in_src {
+        check_nan_safety(rel_path, &masked, &spans, &mut diags);
+        check_doc_coverage(rel_path, source, &masked, &spans, &mut diags);
+    }
+    diags.sort_by(|a, b| (a.line, a.check).cmp(&(b.line, b.check)));
+    diags
+}
+
+fn push(
+    diags: &mut Vec<Diagnostic>,
+    path: &str,
+    line: usize,
+    check: &'static str,
+    message: String,
+) {
+    diags.push(Diagnostic {
+        path: path.to_owned(),
+        line,
+        check,
+        message,
+    });
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets where `word` occurs in `text` with non-identifier bytes on
+/// both sides.
+fn word_occurrences(text: &[u8], word: &[u8]) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut from = 0usize;
+    while from + word.len() <= text.len() {
+        let Some(position) = text[from..]
+            .windows(word.len())
+            .position(|window| window == word)
+        else {
+            break;
+        };
+        let at = from + position;
+        let clear_before = at == 0 || !is_ident_byte(text[at - 1]);
+        let clear_after = at + word.len() >= text.len() || !is_ident_byte(text[at + word.len()]);
+        if clear_before && clear_after {
+            found.push(at);
+        }
+        from = at + word.len();
+    }
+    found
+}
+
+/// Whether `text[at..]` starts with `.name` followed, after optional
+/// whitespace, by `(` — i.e. a call of method `name`.
+fn is_method_call(text: &[u8], at: usize, name: &[u8]) -> bool {
+    if text.get(at) != Some(&b'.') || !text[at + 1..].starts_with(name) {
+        return false;
+    }
+    let mut p = at + 1 + name.len();
+    if p < text.len() && is_ident_byte(text[p]) {
+        return false; // e.g. `.unwrap_or`
+    }
+    while p < text.len() && text[p].is_ascii_whitespace() {
+        p += 1;
+    }
+    text.get(p) == Some(&b'(')
+}
+
+/// Offsets of every `.name(…)` call in `text`.
+fn method_calls(text: &[u8], name: &[u8]) -> Vec<usize> {
+    word_occurrences(text, name)
+        .into_iter()
+        .filter(|&at| at > 0 && is_method_call(text, at - 1, name))
+        .map(|at| at - 1)
+        .collect()
+}
+
+fn check_determinism(
+    path: &str,
+    source: &MaskedSource,
+    spans: &[TestSpan],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for word in NONDETERMINISTIC_WORDS {
+        for at in word_occurrences(&source.masked, word.as_bytes()) {
+            let line = source.line_of(at);
+            if !in_test_span(spans, line) {
+                push(
+                    diags,
+                    path,
+                    line,
+                    "determinism",
+                    format!(
+                        "nondeterministic construct `{word}`: derive randomness \
+                         and time from explicit seeds"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_panic_freedom(
+    path: &str,
+    source: &MaskedSource,
+    spans: &[TestSpan],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let text = &source.masked;
+    let mut hits: Vec<(usize, String)> = Vec::new();
+    for method in ["unwrap", "expect"] {
+        for at in method_calls(text, method.as_bytes()) {
+            hits.push((at, format!(".{method}()")));
+        }
+    }
+    for mac in ["panic", "todo"] {
+        for at in word_occurrences(text, mac.as_bytes()) {
+            if text.get(at + mac.len()) == Some(&b'!') {
+                hits.push((at, format!("{mac}!")));
+            }
+        }
+    }
+    for (at, what) in hits {
+        let line = source.line_of(at);
+        if !in_test_span(spans, line) {
+            push(
+                diags,
+                path,
+                line,
+                "panic-freedom",
+                format!("panicking construct `{what}` in fleet-facing library code"),
+            );
+        }
+    }
+}
+
+fn check_nan_safety(
+    path: &str,
+    source: &MaskedSource,
+    spans: &[TestSpan],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let text = &source.masked;
+    // `partial_cmp(…)` chained into an unwrap/expect within the statement.
+    for at in word_occurrences(text, b"partial_cmp") {
+        let line = source.line_of(at);
+        if in_test_span(spans, line) || is_fn_definition(text, at) {
+            continue;
+        }
+        let rest = &text[at + b"partial_cmp".len()..];
+        let statement_end = rest
+            .iter()
+            .position(|&b| b == b';' || b == b'{' || b == b'}')
+            .unwrap_or(rest.len());
+        let statement = &rest[..statement_end];
+        if method_calls(statement, b"unwrap")
+            .into_iter()
+            .chain(method_calls(statement, b"expect"))
+            .next()
+            .is_some()
+        {
+            push(
+                diags,
+                path,
+                line,
+                "nan-safety",
+                "NaN-unsafe `partial_cmp(..).unwrap()` chain: use `f64::total_cmp`".to_owned(),
+            );
+        }
+    }
+    // `==` / `!=` against a float literal (other than the 0.0 / 1.0
+    // sentinels, which code only compares against when the value was
+    // assigned exactly).
+    for at in equality_operators(text) {
+        let line = source.line_of(at);
+        if in_test_span(spans, line) {
+            continue;
+        }
+        let literal = float_literal_after(text, at + 2).or_else(|| float_literal_before(text, at));
+        if let Some(literal) = literal {
+            if literal != "0.0" && literal != "1.0" {
+                push(
+                    diags,
+                    path,
+                    line,
+                    "nan-safety",
+                    format!(
+                        "float equality against literal `{literal}`: compare \
+                         with a tolerance or use integer grid indices"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether the `partial_cmp` at `at` is a `fn partial_cmp` definition
+/// (trait impls are allowed; they are the place total orders are built).
+fn is_fn_definition(text: &[u8], at: usize) -> bool {
+    let mut p = at;
+    while p > 0 && text[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    p >= 2 && &text[p - 2..p] == b"fn"
+}
+
+/// Offsets of standalone `==` and `!=` operators.
+fn equality_operators(text: &[u8]) -> Vec<usize> {
+    let mut found = Vec::new();
+    for at in 0..text.len().saturating_sub(1) {
+        let pair = &text[at..at + 2];
+        let standalone = (pair == b"==" || pair == b"!=")
+            && (at == 0 || !matches!(text[at - 1], b'=' | b'!' | b'<' | b'>'))
+            && text.get(at + 2) != Some(&b'=');
+        if standalone {
+            found.push(at);
+        }
+    }
+    found
+}
+
+/// Parses a float literal (`12.5`, `-0.25`) starting at or after `from`
+/// (skipping whitespace and an optional sign).
+fn float_literal_after(text: &[u8], from: usize) -> Option<String> {
+    let mut p = from;
+    while p < text.len() && text[p].is_ascii_whitespace() {
+        p += 1;
+    }
+    if text.get(p) == Some(&b'-') {
+        p += 1;
+    }
+    let start = p;
+    while p < text.len() && text[p].is_ascii_digit() {
+        p += 1;
+    }
+    if p == start || text.get(p) != Some(&b'.') {
+        return None;
+    }
+    p += 1;
+    let fraction_start = p;
+    while p < text.len() && text[p].is_ascii_digit() {
+        p += 1;
+    }
+    if p == fraction_start {
+        return None; // `3.` or a range like `0..` — not a float comparison
+    }
+    String::from_utf8(text[start..p].to_vec()).ok()
+}
+
+/// Parses a float literal ending just before the operator at `operator`.
+fn float_literal_before(text: &[u8], operator: usize) -> Option<String> {
+    let mut p = operator;
+    while p > 0 && text[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    let end = p;
+    while p > 0 && (text[p - 1].is_ascii_digit() || text[p - 1] == b'.') {
+        p -= 1;
+    }
+    let literal = &text[p..end];
+    let valid = literal.contains(&b'.')
+        && literal.first().is_some_and(u8::is_ascii_digit)
+        && literal.last().is_some_and(u8::is_ascii_digit)
+        // Exclude tuple-field access (`pair.0 == …`) and range endpoints.
+        && (p == 0 || (!is_ident_byte(text[p - 1]) && text[p - 1] != b'.'));
+    if valid {
+        String::from_utf8(literal.to_vec()).ok()
+    } else {
+        None
+    }
+}
+
+fn check_doc_coverage(
+    path: &str,
+    source: &str,
+    masked: &MaskedSource,
+    spans: &[TestSpan],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Module-level docs: a `//!` block must precede the first code line.
+    let mut has_module_doc = false;
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//!") {
+            has_module_doc = true;
+            break;
+        }
+        if trimmed.is_empty() || trimmed.starts_with("#![") || trimmed.starts_with("//") {
+            continue;
+        }
+        break;
+    }
+    if !has_module_doc {
+        push(
+            diags,
+            path,
+            1,
+            "doc-coverage",
+            "missing module-level doc comment (`//!`)".to_owned(),
+        );
+    }
+
+    // Public items: every plain-`pub` item needs a `///` doc comment or a
+    // `#[doc…]` attribute directly above (attributes in between are fine).
+    let masked_text = String::from_utf8_lossy(&masked.masked).into_owned();
+    let masked_lines: Vec<&str> = masked_text.lines().collect();
+    for (index, masked_line) in masked_lines.iter().enumerate() {
+        let line = index + 1;
+        if in_test_span(spans, line) {
+            continue;
+        }
+        let trimmed = masked_line.trim_start();
+        let Some(item) = trimmed.strip_prefix("pub ") else {
+            continue; // `pub(crate)` and friends are not public API
+        };
+        let keyword = item.split_whitespace().next().unwrap_or("");
+        if keyword == "use" || keyword == "mod" {
+            // Re-exports inherit docs; module files carry their own `//!`.
+            continue;
+        }
+        let mut above = index; // 0-based index of the line above `line`
+        let mut documented = false;
+        while above > 0 {
+            let candidate = masked_lines[above - 1].trim();
+            if candidate.starts_with("#[") || candidate.ends_with(")]") {
+                if candidate.contains("#[doc") {
+                    documented = true;
+                    break;
+                }
+                above -= 1;
+                continue;
+            }
+            documented = masked.is_doc_line(above);
+            break;
+        }
+        if !documented {
+            push(
+                diags,
+                path,
+                line,
+                "doc-coverage",
+                format!("public item `pub {keyword}` lacks a doc comment"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_for(check: &str, diags: &[Diagnostic]) -> Vec<usize> {
+        diags
+            .iter()
+            .filter(|d| d.check == check)
+            .map(|d| d.line)
+            .collect()
+    }
+
+    #[test]
+    fn classify_recognizes_scopes() {
+        assert!(classify("crates/hwsim/src/node.rs").panic_gated);
+        assert!(!classify("crates/metrics/src/stats.rs").panic_gated);
+        assert!(classify("crates/metrics/src/stats.rs").in_src);
+        assert!(classify("crates/hwsim/tests/integration.rs").is_test_code);
+        assert!(classify("crates/bench/benches/micro.rs").is_test_code);
+        assert!(classify("src/lib.rs").in_src);
+    }
+
+    #[test]
+    fn determinism_flags_wall_clock_outside_tests() {
+        let src = "//! m\nuse std::time::Instant;\n#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+        let diags = check_file("crates/core/src/x.rs", src);
+        assert_eq!(lines_for("determinism", &diags), vec![2]);
+    }
+
+    #[test]
+    fn determinism_ignores_comments_and_strings() {
+        let src = "//! Instant is fine here\nconst X: &str = \"Instant\";\n";
+        let diags = check_file("crates/core/src/x.rs", src);
+        assert!(lines_for("determinism", &diags).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_only_in_gated_crates() {
+        let src = "//! m\n/// d\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        assert_eq!(
+            lines_for("panic-freedom", &check_file("crates/hwsim/src/x.rs", src)),
+            vec![4]
+        );
+        assert!(lines_for("panic-freedom", &check_file("crates/metrics/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_skips_unwrap_or_variants() {
+        let src = "//! m\nfn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\n";
+        assert!(lines_for("panic-freedom", &check_file("crates/hwsim/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn nan_safety_flags_partial_cmp_chain() {
+        let src =
+            "//! m\nfn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert_eq!(
+            lines_for("nan-safety", &check_file("crates/metrics/src/x.rs", src)),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn nan_safety_allows_total_cmp_and_definitions() {
+        let src = "//! m\nfn f(v: &mut [f64]) {\n    v.sort_by(f64::total_cmp);\n}\nimpl X {\n    fn partial_cmp(&self) {}\n}\n";
+        assert!(lines_for("nan-safety", &check_file("crates/metrics/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn nan_safety_flags_float_literal_equality() {
+        let src = "//! m\nfn f(x: f64) -> bool {\n    x == 24.5\n}\nfn g(x: f64) -> bool {\n    0.25 != x\n}\nfn ok(x: f64) -> bool {\n    x == 0.0 || x == 1.0\n}\n";
+        assert_eq!(
+            lines_for("nan-safety", &check_file("crates/metrics/src/x.rs", src)),
+            vec![3, 6]
+        );
+    }
+
+    #[test]
+    fn nan_safety_ignores_tuple_fields_and_ints() {
+        let src = "//! m\nfn f(p: (f64, u8)) -> bool {\n    p.1 == 3 && p.0 >= 0.5\n}\n";
+        assert!(lines_for("nan-safety", &check_file("crates/metrics/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn doc_coverage_requires_module_and_item_docs() {
+        let src =
+            "use std::fmt;\n\npub struct Undocumented;\n\n/// Documented.\npub struct Fine;\n";
+        let diags = check_file("crates/core/src/x.rs", src);
+        assert_eq!(lines_for("doc-coverage", &diags), vec![1, 3]);
+    }
+
+    #[test]
+    fn doc_coverage_sees_through_attributes() {
+        let src = "//! m\n/// Documented.\n#[derive(Debug)]\npub struct Fine;\npub use std::fmt;\n";
+        assert!(lines_for("doc-coverage", &check_file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn test_files_are_exempt() {
+        let src = "use std::time::Instant;\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(check_file("crates/hwsim/tests/e2e.rs", src).is_empty());
+    }
+}

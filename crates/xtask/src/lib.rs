@@ -1,0 +1,47 @@
+//! Workspace invariant checker.
+//!
+//! The ANUBIS workspace makes two promises that ordinary compilation does
+//! not verify: every simulation is **deterministic** (all randomness and
+//! time flow from explicit seeds, so paper figures reproduce bit-for-bit)
+//! and the fleet-facing crates are **panic-free** (a validation run on ten
+//! thousand nodes must degrade into `Result`s, not abort). This crate is
+//! the `cargo xtask`-style enforcement tool:
+//!
+//! ```text
+//! cargo run -p anubis-xtask -- lint
+//! ```
+//!
+//! walks every non-vendored `.rs` file and reports `file:line` diagnostics
+//! for four invariants — see [`checks`] for their definitions — exiting
+//! nonzero if any violation is not covered by the checked-in allowlist
+//! (`lint-allowlist.txt` at the workspace root, format in [`allowlist`]).
+
+pub mod allowlist;
+pub mod checks;
+pub mod mask;
+pub mod spans;
+pub mod walk;
+
+pub use allowlist::Allowlist;
+pub use checks::{check_file, classify, Diagnostic, GATED_CRATES};
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lints every workspace `.rs` file under `root`, filtering through
+/// `allowlist`, and returns the surviving diagnostics sorted by path,
+/// line, and check.
+pub fn run_lint(root: &Path, allowlist: &Allowlist) -> io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    for relative in walk::rust_files(root)? {
+        let source = fs::read_to_string(root.join(&relative))?;
+        diagnostics.extend(
+            check_file(&relative, &source)
+                .into_iter()
+                .filter(|diagnostic| !allowlist.permits(diagnostic)),
+        );
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
+    Ok(diagnostics)
+}

@@ -1,0 +1,93 @@
+//! `anubis-xtask` — workspace maintenance commands.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p anubis-xtask -- lint [--root <dir>] [--allowlist <file>]
+//! ```
+//!
+//! which runs the invariant checks of [`anubis_xtask::checks`] over the
+//! workspace and exits `1` when violations remain after applying the
+//! allowlist (default: `lint-allowlist.txt` at the workspace root).
+
+use anubis_xtask::{run_lint, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p anubis-xtask -- lint [--root <dir>] [--allowlist <file>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Default workspace root: two levels up from this crate's manifest.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root = default_root();
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter.next();
+        match (flag.as_str(), value) {
+            ("--root", Some(value)) => root = PathBuf::from(value),
+            ("--allowlist", Some(value)) => allowlist_path = Some(PathBuf::from(value)),
+            _ => {
+                eprintln!("unexpected argument `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allowlist.txt"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err((line, reason)) => {
+                eprintln!(
+                    "{}:{line}: malformed allowlist: {reason}",
+                    allowlist_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => Allowlist::empty(),
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", allowlist_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match run_lint(&root, &allowlist) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("lint: no violations");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for diagnostic in &diagnostics {
+                println!("{diagnostic}");
+            }
+            println!("lint: {} violation(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("lint failed: {error}");
+            ExitCode::from(2)
+        }
+    }
+}

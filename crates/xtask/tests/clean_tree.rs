@@ -1,0 +1,24 @@
+//! The workspace itself must lint clean: `cargo run -p anubis-xtask --
+//! lint` exits 0, with every intentional exemption recorded in the
+//! checked-in allowlist. This test is the same walk the CLI performs.
+
+use anubis_xtask::{run_lint, Allowlist};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allowlist_text = std::fs::read_to_string(root.join("lint-allowlist.txt"))
+        .expect("workspace allowlist exists");
+    let allowlist = Allowlist::parse(&allowlist_text).expect("workspace allowlist parses");
+    let diagnostics = run_lint(&root, &allowlist).expect("lint walk succeeds");
+    assert!(
+        diagnostics.is_empty(),
+        "workspace lint violations:\n{}",
+        diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

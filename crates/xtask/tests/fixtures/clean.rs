@@ -1,0 +1,18 @@
+//! Fixture: a fully conforming module (zero diagnostics expected).
+
+/// Adds one, saturating.
+pub fn add_one(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds() {
+        assert_eq!(add_one(1), 2);
+        let missing: Option<u8> = None;
+        assert_eq!(missing.unwrap_or(9), 9);
+    }
+}

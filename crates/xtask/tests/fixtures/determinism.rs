@@ -1,0 +1,16 @@
+//! Fixture: determinism violations (never compiled, scanned by tests).
+
+use std::time::{Instant, SystemTime};
+
+/// Measures elapsed time the wrong way.
+pub fn elapsed() -> u64 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    start.elapsed().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant; // exempt: test-only code
+}

@@ -1,0 +1,8 @@
+use std::fmt::Debug;
+
+pub struct Undocumented;
+
+/// Documented.
+pub struct Fine;
+
+pub fn also_undocumented() {}

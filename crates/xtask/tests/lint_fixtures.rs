@@ -1,0 +1,117 @@
+//! Fixture-based linter tests: each fixture under `tests/fixtures/` holds
+//! known violations, and these tests assert the exact `file:line`
+//! diagnostics the checks must produce. The fixtures are never compiled —
+//! the lint walker also skips any directory named `fixtures`.
+
+use anubis_xtask::{check_file, Allowlist, Diagnostic};
+use std::fs;
+use std::path::Path;
+
+/// Reads a fixture and lints it under a pseudo workspace path (the path
+/// decides which checks apply: gated crate, src/, test code).
+fn lint_fixture(fixture: &str, pseudo_path: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|error| panic!("read fixture {}: {error}", path.display()));
+    check_file(pseudo_path, &source)
+}
+
+/// The `(check, line)` pairs of a diagnostic list, for exact comparisons.
+fn keyed(diags: &[Diagnostic]) -> Vec<(&str, usize)> {
+    diags.iter().map(|d| (d.check, d.line)).collect()
+}
+
+#[test]
+fn determinism_fixture_exact_lines() {
+    let diags = lint_fixture("determinism.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        keyed(&diags),
+        vec![
+            ("determinism", 3), // use …::Instant
+            ("determinism", 3), // use …::SystemTime
+            ("determinism", 7), // Instant::now()
+            ("determinism", 8), // SystemTime::now()
+            ("determinism", 9), // thread_rng()
+        ],
+        "diagnostics: {diags:#?}"
+    );
+    assert!(diags.iter().all(|d| d.path == "crates/core/src/fixture.rs"));
+}
+
+#[test]
+fn panics_fixture_exact_lines_in_gated_crate() {
+    let diags = lint_fixture("panics.rs", "crates/hwsim/src/fixture.rs");
+    assert_eq!(
+        keyed(&diags),
+        vec![
+            ("panic-freedom", 5),  // .unwrap()
+            ("panic-freedom", 6),  // .expect(…)
+            ("panic-freedom", 8),  // panic!
+            ("panic-freedom", 11), // todo!
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn panics_fixture_is_clean_outside_gated_crates() {
+    let diags = lint_fixture("panics.rs", "crates/metrics/src/fixture.rs");
+    assert!(diags.is_empty(), "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn nan_fixture_exact_lines() {
+    let diags = lint_fixture("nan.rs", "crates/metrics/src/fixture.rs");
+    assert_eq!(
+        keyed(&diags),
+        vec![
+            ("nan-safety", 5),  // partial_cmp(..).unwrap()
+            ("nan-safety", 10), // == 24.0
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn docs_fixture_exact_lines() {
+    let diags = lint_fixture("docs.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        keyed(&diags),
+        vec![
+            ("doc-coverage", 1), // missing //! module doc
+            ("doc-coverage", 3), // pub struct Undocumented
+            ("doc-coverage", 8), // pub fn also_undocumented
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_diagnostics_even_when_gated() {
+    let diags = lint_fixture("clean.rs", "crates/hwsim/src/fixture.rs");
+    assert!(diags.is_empty(), "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_path_line_check_message() {
+    let diags = lint_fixture("nan.rs", "crates/metrics/src/fixture.rs");
+    let first = diags.first().expect("nan fixture has diagnostics");
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/metrics/src/fixture.rs:5: [nan-safety] "),
+        "rendered: {rendered}"
+    );
+}
+
+#[test]
+fn allowlist_filters_matching_diagnostics() {
+    let diags = lint_fixture("determinism.rs", "crates/core/src/fixture.rs");
+    let allowlist =
+        Allowlist::parse("determinism crates/core/src/fixture.rs Instant\n").expect("valid");
+    let surviving: Vec<&Diagnostic> = diags.iter().filter(|d| !allowlist.permits(d)).collect();
+    // The two `Instant` hits are exempt; `SystemTime` and `thread_rng` stay.
+    assert_eq!(surviving.len(), 3, "surviving: {surviving:#?}");
+    assert!(surviving.iter().all(|d| !d.message.contains("`Instant`")));
+}

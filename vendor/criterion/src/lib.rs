@@ -1,0 +1,141 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just the surface the workspace benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and reports a simple
+//! per-iteration median instead of criterion's full statistical analysis.
+//! Wall-clock use here is fine: benches are reporting tools, not
+//! simulation logic, and this crate sits outside the workspace lint walk.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// Target wall-clock budget for one sample batch.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// How a batched benchmark's setup output is grouped. Only the variants
+/// the workspace uses are provided; the distinction does not change
+/// behaviour in this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; criterion would batch many per allocation.
+    SmallInput,
+    /// Routine input is large; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` against a fresh [`Bencher`] and prints a one-line
+    /// median per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(SAMPLES),
+        };
+        routine(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let per_sample = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name}: no samples");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        println!("bench {name}: median {median:?} per iteration");
+    }
+}
+
+/// Picks an iteration count that makes one sample take roughly
+/// [`SAMPLE_BUDGET`], so very fast routines still get measurable samples.
+fn calibrate<F: FnMut()>(mut routine: F) -> u32 {
+    let mut iterations: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_BUDGET || iterations >= 1 << 20 {
+            return iterations.max(1);
+        }
+        iterations = iterations.saturating_mul(2);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

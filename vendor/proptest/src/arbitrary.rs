@@ -1,0 +1,45 @@
+//! `any::<T>()`: canonical strategies for simple types.
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> bool {
+        rng.random()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),* $(,)?) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut ChaCha8Rng) -> $ty {
+                rng.random()
+            }
+        })*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}

@@ -1,0 +1,49 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Acceptable length specifications for [`vec`]: an exact length or a
+/// half-open range.
+pub trait IntoSizeRange {
+    /// Converts into `(min, max_exclusive)`.
+    fn into_size_range(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        assert!(self.start < self.end, "collection::vec: empty size range");
+        (self.start, self.end)
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.into_size_range();
+    VecStrategy { element, min, max }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+        let len = rng.random_range(self.min..self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! Implements the subset the workspace's test suites use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` and `boxed`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<bool>()`, the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!` and `prop_oneof!`
+//! macros, and [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate, chosen deliberately for this
+//! repository:
+//!
+//! - **Deterministic by construction.** Case generation is seeded from a
+//!   stable hash of the test function's name, so a failure reproduces on
+//!   every run and every machine — there is no entropy source anywhere in
+//!   the workspace's dependency tree.
+//! - **No shrinking.** On failure the original generated inputs are
+//!   printed in full instead of a minimized counterexample.
+//! - `.proptest-regressions` files are not read; every run covers the
+//!   configured number of fresh cases.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            __left
+        );
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                let mut completed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while completed < config.cases {
+                    // Render inputs while generating: the binding may be a
+                    // destructuring pattern and the body may consume it.
+                    let mut __rendered_parts: Vec<String> = Vec::new();
+                    $(
+                        let $arg = {
+                            let __value =
+                                $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                            __rendered_parts.push(format!(
+                                "    {} = {:?}",
+                                stringify!($arg),
+                                &__value
+                            ));
+                            __value
+                        };
+                    )+
+                    let rendered = __rendered_parts.join("\n");
+                    let outcome = (move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => completed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 4096,
+                                "proptest: too many rejected cases in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}\ninputs:\n{}",
+                                completed + 1,
+                                stringify!($name),
+                                message,
+                                rendered
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

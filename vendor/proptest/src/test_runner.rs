@@ -1,0 +1,53 @@
+//! Test-runner configuration and failure signalling.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hash::{Hash, Hasher};
+
+/// Per-test configuration, mirroring the real crate's field of the same
+/// name.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; retried without counting.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Builds the deterministic RNG for one property test.
+///
+/// The seed is a stable (fixed-key SipHash) hash of the test name, so
+/// every run of every build generates the same case sequence — failures
+/// are reproducible by re-running the named test, no seed file needed.
+pub fn rng_for_test(name: &str) -> ChaCha8Rng {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    ChaCha8Rng::seed_from_u64(hasher.finish())
+}

@@ -1,0 +1,185 @@
+//! Distributions: the standard uniform and uniform ranges.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types which can produce values of type `T` from a bit source.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard uniform distribution: floats in `[0, 1)`, the full value
+/// range for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits, matching the real crate's conversion.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit: every ChaCha output bit is uniform, but the
+        // high bit matches how the real crate derives booleans.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+macro_rules! standard_uniform_int {
+    ($($ty:ty => $via:ident),* $(,)?) => {
+        $(impl Distribution<$ty> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$via() as $ty
+            }
+        })*
+    };
+}
+
+standard_uniform_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Ranges that can be sampled uniformly, the bound used by
+/// [`Rng::random_range`](crate::Rng::random_range).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform value from `[0, span)` by rejection, avoiding modulo
+/// bias. `span` must be nonzero.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` that fits in u64, minus one: accept values
+    // below it and reduce. The expected iteration count is < 2.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! sample_range_int {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "random_range: empty integer range"
+                    );
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(uniform_u64_below(rng, span) as $ty)
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "random_range: empty inclusive range");
+                    let span = end.wrapping_sub(start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start.wrapping_add(uniform_u64_below(rng, span + 1) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "random_range: empty float range"
+                    );
+                    let unit: $ty = StandardUniform.sample(rng);
+                    let value = self.start + (self.end - self.start) * unit;
+                    // Floating-point rounding can land exactly on `end`;
+                    // fold that boundary case back into the range.
+                    if value < self.end { value } else { self.start }
+                }
+            }
+        )*
+    };
+}
+
+sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = StandardUniform.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_inside() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = (0usize..10).sample_single(&mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = (1i32..=10).sample_single(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = (-5i64..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = Counter(11);
+        for _ in 0..1000 {
+            let v = (0.25f64..0.5).sample_single(&mut rng);
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+}

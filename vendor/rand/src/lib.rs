@@ -1,0 +1,105 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access and no
+//! pre-populated cargo registry, so the real `rand` cannot be fetched. This
+//! crate implements the exact API subset the workspace uses — `RngCore`,
+//! `SeedableRng` (with the SplitMix64-based `seed_from_u64` convention of
+//! `rand_core`), the `Rng` extension trait (`random`, `random_range`,
+//! `random_bool`), `seq::SliceRandom::shuffle` and `seq::index::sample` —
+//! with no external dependencies.
+//!
+//! Determinism contract: every generator in the workspace is an explicitly
+//! seeded `ChaCha8Rng` (see the `rand_chacha` stand-in). This crate contains
+//! **no** entropy source at all: there is no `thread_rng`, no `from_entropy`,
+//! and no `OsRng`, which makes the project-wide "all randomness is seeded"
+//! invariant checkable by construction.
+
+pub mod distr;
+pub mod seq;
+
+pub use distr::{Distribution, StandardUniform};
+
+/// A source of uniformly distributed random bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through SplitMix64
+    /// exactly like `rand_core` does, so seeds written against the real
+    /// crate keep their meaning.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele, Lea & Flood), as used by rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods for generating values from a bit source.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard uniform distribution.
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distr::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

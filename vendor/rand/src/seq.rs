@@ -1,0 +1,151 @@
+//! Sequence utilities: in-place shuffling and distinct index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type of the sequence.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// Distinct index sampling, mirroring `rand::seq::index`.
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// A set of distinct indices in `[0, length)`.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the set into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `[0, length)`, in the random
+    /// order the partial Fisher–Yates walk produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`, matching the real crate.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "sample: amount {amount} exceeds length {length}"
+        );
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.random_range(i..length);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        IndexVec(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u32() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(5);
+        let mut data: Vec<u32> = (0..50).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampled_indices_are_distinct_and_in_range() {
+        let mut rng = Counter(9);
+        let picks = sample(&mut rng, 31, 7);
+        assert_eq!(picks.len(), 7);
+        let mut seen: Vec<usize> = picks.into_iter().collect();
+        assert!(seen.iter().all(|&i| i < 31));
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Counter(1);
+        let data = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let &v = data.choose(&mut rng).expect("non-empty");
+            seen[v - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

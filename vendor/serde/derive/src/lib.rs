@@ -1,0 +1,394 @@
+//! `#[derive(Serialize)]` without `syn`/`quote`.
+//!
+//! The offline build environment cannot fetch the real proc-macro stack,
+//! so this derive parses the item declaration directly from
+//! [`proc_macro::TokenStream`]. It supports exactly the shapes the
+//! workspace uses (and the real derive's externally-tagged layout for
+//! them):
+//!
+//! - structs with named fields, including lifetime generics (`Row<'a>`);
+//! - unit and tuple structs;
+//! - enums with unit, newtype, tuple and struct variants.
+//!
+//! Container/field attributes (`#[serde(...)]`) are intentionally not
+//! supported; the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum declaration.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(generated) => generated
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive produced bad code: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("compile_error! invocation parses")
+}
+
+/// One parsed generic parameter, split into declaration and use forms.
+struct Generics {
+    /// `<'a, T: serde::Serialize>` — parameter list for the impl.
+    params: String,
+    /// `<'a, T>` — argument list for the self type.
+    args: String,
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    position: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            position: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.position)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.position).cloned();
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    /// Skips `#[...]` attributes (doc comments arrive in this form too).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.position += 1; // '#'
+            if let Some(TokenTree::Group(_)) = self.peek() {
+                self.position += 1; // [...]
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(word)) = self.peek() {
+            if word.to_string() == "pub" {
+                self.position += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.position += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(word)) => Ok(word.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Parses `<...>` if present, returning declaration and argument forms.
+    fn parse_generics(&mut self) -> Result<Generics, String> {
+        let is_open = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+        if !is_open {
+            return Ok(Generics {
+                params: String::new(),
+                args: String::new(),
+            });
+        }
+        self.position += 1; // '<'
+        let mut depth = 1usize;
+        let mut raw: Vec<TokenTree> = Vec::new();
+        while depth > 0 {
+            let token = self
+                .next()
+                .ok_or_else(|| "unclosed generic parameter list".to_string())?;
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push(token);
+        }
+        // Split parameters on top-level commas.
+        let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+        let mut angle = 0usize;
+        for token in raw {
+            if let TokenTree::Punct(p) = &token {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => {
+                        params.push(Vec::new());
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            params
+                .last_mut()
+                .expect("params starts non-empty")
+                .push(token);
+        }
+        let mut declaration = Vec::new();
+        let mut arguments = Vec::new();
+        for param in params.into_iter().filter(|p| !p.is_empty()) {
+            if matches!(param.first(), Some(TokenTree::Punct(p)) if p.as_char() == '\'') {
+                // Lifetime parameter: a `'` punct followed by its name.
+                // Joining token strings naively would yield `' a`, which
+                // does not re-parse, so rebuild the lifetime by hand.
+                // Bounds like `'a: 'b` do not occur in this workspace.
+                let label = match param.get(1) {
+                    Some(TokenTree::Ident(word)) => format!("'{word}"),
+                    other => return Err(format!("unsupported lifetime parameter: {other:?}")),
+                };
+                declaration.push(label.clone());
+                arguments.push(label);
+            } else {
+                // Type parameter: bound it by Serialize, use its bare name.
+                let name = match param.first() {
+                    Some(TokenTree::Ident(word)) => word.to_string(),
+                    other => return Err(format!("unsupported generic parameter: {other:?}")),
+                };
+                declaration.push(format!("{name}: ::serde::Serialize"));
+                arguments.push(name);
+            }
+        }
+        Ok(Generics {
+            params: format!("<{}>", declaration.join(", ")),
+            args: format!("<{}>", arguments.join(", ")),
+        })
+    }
+}
+
+/// Splits a field/variant body on top-level commas, tracking angle depth
+/// so `HashMap<K, V>` stays intact.
+fn split_top_level(group: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0usize;
+    for token in group {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks
+            .last_mut()
+            .expect("chunks starts non-empty")
+            .push(token);
+    }
+    chunks.retain(|chunk| !chunk.is_empty());
+    chunks
+}
+
+/// Extracts the field name from one named-field chunk
+/// (`[attrs] [pub] name : Type`).
+fn named_field(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut index = 0;
+    loop {
+        match chunk.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                index += 1;
+                if matches!(chunk.get(index), Some(TokenTree::Group(_))) {
+                    index += 1;
+                }
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                index += 1;
+                if matches!(
+                    chunk.get(index),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    index += 1;
+                }
+            }
+            Some(TokenTree::Ident(word)) => return Ok(word.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let mut parser = Parser::new(input);
+    parser.skip_attributes();
+    parser.skip_visibility();
+    let kind = parser.expect_ident()?;
+    let name = parser.expect_ident()?;
+    let generics = parser.parse_generics()?;
+    let header = format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {name}{args} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n",
+        params = generics.params,
+        args = generics.args,
+    );
+    let body = match kind.as_str() {
+        "struct" => expand_struct(&mut parser, &name)?,
+        "enum" => expand_enum(&mut parser, &name)?,
+        other => return Err(format!("cannot derive Serialize for `{other}` items")),
+    };
+    Ok(format!("{header}{body}\n}}\n}}"))
+}
+
+fn expand_struct(parser: &mut Parser, name: &str) -> Result<String, String> {
+    // Skip a where clause if one ever appears.
+    while let Some(token) = parser.peek() {
+        match token {
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            _ => parser.position += 1,
+        }
+    }
+    match parser.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            let fields: Vec<String> = split_top_level(group.stream())
+                .iter()
+                .map(|chunk| named_field(chunk))
+                .collect::<Result<_, _>>()?;
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in &fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            Ok(out)
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level(group.stream()).len();
+            if arity == 1 {
+                Ok(format!(
+                    "::serde::Serializer::serialize_newtype_struct(\
+                     __serializer, \"{name}\", &self.0)"
+                ))
+            } else {
+                let mut out = format!(
+                    "let mut __state = ::serde::Serializer::serialize_tuple_struct(\
+                     __serializer, \"{name}\", {arity})?;\n"
+                );
+                for index in 0..arity {
+                    out.push_str(&format!(
+                        "::serde::ser::SerializeTupleStruct::serialize_field(\
+                         &mut __state, &self.{index})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+                Ok(out)
+            }
+        }
+        // `struct Unit;` — the trailing semicolon may or may not be in
+        // the derive input depending on shape.
+        _ => Ok(format!(
+            "::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"
+        )),
+    }
+}
+
+fn expand_enum(parser: &mut Parser, name: &str) -> Result<String, String> {
+    let body = match parser.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let mut arms = String::new();
+    for (index, chunk) in split_top_level(body).into_iter().enumerate() {
+        let mut cursor = 0usize;
+        // Skip attributes ahead of the variant name.
+        while matches!(chunk.get(cursor), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            cursor += 1;
+            if matches!(chunk.get(cursor), Some(TokenTree::Group(_))) {
+                cursor += 1;
+            }
+        }
+        let variant = match chunk.get(cursor) {
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        cursor += 1;
+        match chunk.get(cursor) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields: Vec<String> = split_top_level(group.stream())
+                    .iter()
+                    .map(|c| named_field(c))
+                    .collect::<Result<_, _>>()?;
+                let bindings = fields.join(", ");
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {bindings} }} => {{\n\
+                     let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\", {len})?;\n",
+                    len = fields.len()
+                ));
+                for field in &fields {
+                    arms.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(\
+                         &mut __sv, \"{field}\", {field})?;\n"
+                    ));
+                }
+                arms.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(group.stream()).len();
+                let bindings: Vec<String> = (0..arity).map(|i| format!("__f{i}")).collect();
+                let pattern = bindings.join(", ");
+                if arity == 1 {
+                    arms.push_str(&format!(
+                        "{name}::{variant}(__f0) => \
+                         ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {index}u32, \"{variant}\", __f0),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{variant}({pattern}) => {{\n\
+                         let mut __sv = ::serde::Serializer::serialize_tuple_variant(\
+                         __serializer, \"{name}\", {index}u32, \"{variant}\", {arity})?;\n"
+                    ));
+                    for binding in &bindings {
+                        arms.push_str(&format!(
+                            "::serde::ser::SerializeTupleVariant::serialize_field(\
+                             &mut __sv, {binding})?;\n"
+                        ));
+                    }
+                    arms.push_str("::serde::ser::SerializeTupleVariant::end(__sv)\n},\n");
+                }
+            }
+            _ => {
+                // Unit variant (any `= discriminant` tail is irrelevant to
+                // serialization and ignored).
+                arms.push_str(&format!(
+                    "{name}::{variant} => ::serde::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+                ));
+            }
+        }
+    }
+    Ok(format!("match self {{\n{arms}}}"))
+}

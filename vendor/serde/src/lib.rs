@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! serialization framework — the **serialization half only**, which is all
+//! the workspace uses (results and traces are exported, never parsed back
+//! through serde; the binary trace codec has its own reader).
+//!
+//! The `ser` module reproduces the real crate's data model: the
+//! [`Serializer`] trait with its seven compound-serializer associated
+//! types, [`ser::Impossible`], and `Serialize` impls for the std types the
+//! workspace serializes. `#[derive(Serialize)]` is provided by the sibling
+//! `serde_derive` stand-in, re-exported here exactly like the real crate
+//! does under its `derive` feature.
+
+pub mod ser;
+
+mod impls;
+
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::Serialize;
