@@ -4,7 +4,9 @@
 
 use anubis_benchsuite::{run_set, run_set_parallel, BenchmarkId};
 use anubis_cluster::{simulate, ClusterSimConfig, Policy};
-use anubis_metrics::{cdf_distance, one_sided_distance, Direction, Sample};
+use anubis_metrics::{
+    cdf_distance, one_sided_distance, pairwise_similarity_matrix_threads, Direction, Sample,
+};
 use anubis_netsim::{
     concurrent_pair_bandwidths, full_scan_rounds, quick_scan_rounds, FatTree, FatTreeConfig,
 };
@@ -62,6 +64,20 @@ fn bench_criteria(c: &mut Criterion) {
     });
 }
 
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let samples: Vec<Sample> = (0..64).map(|i| series_sample(i, 256)).collect();
+    for threads in [1usize, 8] {
+        c.bench_function(&format!("similarity-matrix/64x256/{threads}threads"), |bencher| {
+            bencher.iter(|| {
+                black_box(pairwise_similarity_matrix_threads(
+                    black_box(&samples),
+                    threads,
+                ))
+            });
+        });
+    }
+}
+
 fn bench_selection(c: &mut Criterion) {
     let mut coverage = CoverageTable::new();
     for (i, bench) in BenchmarkId::ALL.iter().enumerate() {
@@ -100,6 +116,20 @@ fn bench_coxtime(c: &mut Criterion) {
             ..Default::default()
         },
     );
+    // One full training epoch (forward + backward + optimizer) over the
+    // trace, exercising the chunk-parallel gradient path end to end.
+    for threads in [1usize, 8] {
+        let config = CoxTimeConfig {
+            epochs: 1,
+            hidden: vec![32, 32],
+            baseline_buckets: 16,
+            threads,
+            ..Default::default()
+        };
+        c.bench_function(&format!("coxtime/fit-epoch/{threads}threads"), |bencher| {
+            bencher.iter(|| black_box(CoxTimeModel::fit(black_box(&samples), &config)));
+        });
+    }
     let status = samples[0].status.clone();
     c.bench_function("coxtime/expected_tbni", |bencher| {
         bencher.iter(|| black_box(model.expected_tbni(black_box(&status))));
@@ -187,6 +217,7 @@ criterion_group!(
     benches,
     bench_distance,
     bench_criteria,
+    bench_similarity_matrix,
     bench_selection,
     bench_coxtime,
     bench_network,

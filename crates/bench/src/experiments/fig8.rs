@@ -176,10 +176,9 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
             count: 4,
         });
     }
-    let outcomes = policies
-        .iter()
-        .map(|p| simulate(&config.sim, &trace, p))
-        .collect();
+    // Policies simulate independently over the shared (read-only) trace
+    // and selector; results come back in policy order.
+    let outcomes = anubis_parallel::map_items(&policies, 0, |p| simulate(&config.sim, &trace, p));
     Fig8Result { outcomes }
 }
 

@@ -133,7 +133,7 @@ pub fn run(config: &Table3Config) -> Table3Result {
         .step_by((test.len() / 2000).max(1))
         .cloned()
         .collect();
-    let score = |model: &dyn SurvivalModel| {
+    let score = |model: &(dyn SurvivalModel + Sync)| {
         (
             model_accuracy(model, &test),
             concordance_index(model, &c_index_sample),

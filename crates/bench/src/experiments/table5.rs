@@ -126,16 +126,18 @@ pub fn run(config: &Table5Config) -> Table5Result {
             opts.precision = precision;
             opts.warmup_decay_steps = warmup_decay_steps(model);
             opts.cycle_period = cycle_period(model);
-            let series: Vec<Vec<f64>> = (0..config.nodes)
-                .map(|i| {
+            // Every node owns its seed, so the per-node series are
+            // independent and fan out across workers in node order.
+            let series: Vec<Vec<f64>> =
+                anubis_parallel::map_indexed(config.nodes as usize, 0, |i| {
+                    let i = i as u32;
                     let mut node = NodeSim::new(
                         NodeId(i),
                         NodeSpec::h100_8x(),
                         config.seed ^ (u64::from(i) << 8),
                     );
                     simulate_training(&mut node, &cfg, &opts)
-                })
-                .collect();
+                });
             let fixed = StepWindow {
                 warmup: config.fixed_warmup,
                 measure: config.fixed_measure,

@@ -6,7 +6,7 @@
 //! repeatability among the surviving healthy nodes.
 
 use crate::table::{pct, render_table};
-use anubis_benchsuite::{run_benchmark, BenchmarkId};
+use anubis_benchsuite::{run_set_parallel, BenchmarkId};
 use anubis_hwsim::{NodeId, NodeSim};
 use anubis_metrics::{mean_pairwise_similarity, Sample};
 use anubis_traces::{generate_buildout_fleet, BuildoutConfig};
@@ -115,15 +115,12 @@ pub fn run(config: &Table6Config) -> Table6Result {
         let mut group_defective: BTreeSet<NodeId> = BTreeSet::new();
         let mut repeatabilities = Vec::new();
         for bench in benches {
-            let samples: Vec<(NodeId, Sample)> = fleet
-                .iter_mut()
-                .map(|node| {
-                    (
-                        node.id(),
-                        run_benchmark(bench, node).expect("single-node benchmark"),
-                    )
-                })
-                .collect();
+            // Fan the fleet out across workers: each node still runs the
+            // benchmarks in the same per-node order (its RNG stream is
+            // untouched), so the samples match the sequential loop exactly.
+            let data = run_set_parallel(&[bench], &mut fleet, 0).expect("single-node benchmark");
+            let samples: Vec<(NodeId, Sample)> =
+                data.samples_for(bench).expect("benchmark just ran").to_vec();
             let raw: Vec<Sample> = samples.iter().map(|(_, s)| s.clone()).collect();
             let result = calculate_criteria(&raw, config.alpha, CentroidMethod::Medoid)
                 .expect("non-empty fleet");

@@ -3,26 +3,17 @@
 //! Validation runs the same benchmark on every node simultaneously in
 //! production (the nodes are independent machines); this module gives the
 //! simulator the same shape by fanning single-node benchmarks out across
-//! OS threads with [`std::thread::scope`] and collecting results under a
-//! [`std::sync::Mutex`].
+//! worker threads via the shared deterministic executor
+//! ([`anubis_parallel`]).
 
 use crate::id::{BenchmarkId, Phase};
 use crate::runner::{run_benchmark, RunData, SuiteError};
 use anubis_hwsim::NodeSim;
-use std::sync::Mutex;
 
-/// Per-node benchmark rows collected by a worker, keyed by fleet index.
-type NodeRows = (usize, Vec<(BenchmarkId, anubis_metrics::Sample)>);
-
-/// Locks a mutex, recovering the data if a worker panicked while holding
-/// it. Partial rows from a panicked worker are harmless: the scope
-/// re-raises the panic after all workers finish, so the data is never
-/// returned to the caller.
-fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+/// Nodes per executor chunk: small enough to balance uneven per-node
+/// simulation cost, fixed so the decomposition never depends on the
+/// thread count.
+const NODES_PER_CHUNK: usize = 4;
 
 /// Runs a set of **single-node** benchmarks over all nodes, parallelizing
 /// across nodes.
@@ -32,7 +23,8 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// wall-clock time changes. Multi-node benchmarks in `set` are rejected —
 /// they need the shared fabric and belong to the sequential phase-2 path.
 ///
-/// `threads` caps the worker count (0 = one thread per node, up to 16).
+/// `threads` caps the worker count (`0` = auto, see
+/// [`anubis_parallel::auto_threads`]).
 pub fn run_set_parallel(
     set: &[BenchmarkId],
     nodes: &mut [NodeSim],
@@ -44,50 +36,30 @@ pub fn run_set_parallel(
     if let Some(&bad) = set.iter().find(|b| b.spec().phase != Phase::SingleNode) {
         return Err(SuiteError::PhaseMismatch(bad));
     }
-    let workers = if threads == 0 {
-        nodes.len().min(16)
-    } else {
-        threads.min(nodes.len())
-    };
-    let results: Mutex<Vec<NodeRows>> = Mutex::new(Vec::with_capacity(nodes.len()));
-    let errors: Mutex<Vec<SuiteError>> = Mutex::new(Vec::new());
+    // Each worker owns a disjoint node chunk; per-chunk results come back
+    // in chunk order, so assembly below is in fleet order without sorting.
+    type ChunkResult = Result<Vec<Vec<(BenchmarkId, anubis_metrics::Sample)>>, SuiteError>;
+    let per_chunk: Vec<ChunkResult> =
+        anubis_parallel::map_chunks_mut(nodes, NODES_PER_CHUNK, threads, |_, chunk| {
+            chunk
+                .iter_mut()
+                .map(|node| {
+                    set.iter()
+                        .map(|&bench| run_benchmark(bench, node).map(|sample| (bench, sample)))
+                        .collect()
+                })
+                .collect()
+        });
 
-    // Hand each worker a disjoint chunk of nodes. The scope joins every
-    // worker before returning and re-raises any worker panic.
-    let chunk_size = nodes.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (chunk_idx, chunk) in nodes.chunks_mut(chunk_size).enumerate() {
-            let results = &results;
-            let errors = &errors;
-            scope.spawn(move || {
-                for (offset, node) in chunk.iter_mut().enumerate() {
-                    let mut rows = Vec::with_capacity(set.len());
-                    for &bench in set {
-                        match run_benchmark(bench, node) {
-                            Ok(sample) => rows.push((bench, sample)),
-                            Err(e) => {
-                                lock_recover(errors).push(e);
-                                return;
-                            }
-                        }
-                    }
-                    lock_recover(results).push((chunk_idx * chunk_size + offset, rows));
-                }
-            });
-        }
-    });
-
-    if let Some(error) = lock_recover(&errors).drain(..).next() {
-        return Err(error);
-    }
-    // Assemble in deterministic node order.
-    let mut collected = std::mem::take(&mut *lock_recover(&results));
-    collected.sort_by_key(|(idx, _)| *idx);
     let mut data = RunData::default();
-    for (idx, rows) in collected {
-        let id = nodes[idx].id();
-        for (bench, sample) in rows {
-            data.results.entry(bench).or_default().push((id, sample));
+    let mut index = 0usize;
+    for chunk in per_chunk {
+        for rows in chunk? {
+            let id = nodes[index].id();
+            index += 1;
+            for (bench, sample) in rows {
+                data.results.entry(bench).or_default().push((id, sample));
+            }
         }
     }
     Ok(data)
@@ -124,6 +96,22 @@ mod tests {
             for ((id_a, s_a), (id_b, s_b)) in a.iter().zip(b) {
                 assert_eq!(id_a, id_b);
                 assert_eq!(s_a.values(), s_b.values(), "{bench}: node {id_a} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let set = [BenchmarkId::GpuGemmFp16, BenchmarkId::GpuCopyBandwidth];
+        let mut reference_nodes = fleet(9);
+        let reference = run_set_parallel(&set, &mut reference_nodes, 1).unwrap();
+        for threads in [2usize, 8] {
+            let mut nodes = fleet(9);
+            let data = run_set_parallel(&set, &mut nodes, threads).unwrap();
+            for bench in set {
+                let a = reference.samples_for(bench).unwrap();
+                let b = data.samples_for(bench).unwrap();
+                assert_eq!(a, b, "{bench} diverged at {threads} threads");
             }
         }
     }

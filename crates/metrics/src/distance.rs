@@ -58,12 +58,23 @@ pub enum Direction {
 /// assert!((cdf_distance(&a, &b) - 0.2).abs() < 1e-12);
 /// ```
 pub fn cdf_distance(s1: &Sample, s2: &Sample) -> f64 {
-    integrate(s1, s2, |f1, f2| (f1 - f2).abs())
+    cdf_distance_ecdf(&Ecdf::new(s1), &Ecdf::new(s2))
+}
+
+/// [`cdf_distance`] over prebuilt ECDFs — the fast path when the same
+/// sample enters many comparisons (pairwise matrices, criteria loops).
+pub fn cdf_distance_ecdf(e1: &Ecdf, e2: &Ecdf) -> f64 {
+    integrate_ecdf(e1, e2, &mut Vec::new(), |f1, f2| (f1 - f2).abs())
 }
 
 /// Computes the Eq. (3) similarity `1 − d(S1, S2)`.
 pub fn similarity(s1: &Sample, s2: &Sample) -> f64 {
     1.0 - cdf_distance(s1, s2)
+}
+
+/// [`similarity`] over prebuilt ECDFs.
+pub fn similarity_ecdf(e1: &Ecdf, e2: &Ecdf) -> f64 {
+    1.0 - cdf_distance_ecdf(e1, e2)
 }
 
 /// Computes the one-direction Eq. (4) distance of an observation against a
@@ -75,9 +86,20 @@ pub fn similarity(s1: &Sample, s2: &Sample) -> f64 {
 /// `1 − one_sided_distance(..)` is the similarity the Validator compares
 /// against the threshold α.
 pub fn one_sided_distance(observed: &Sample, criteria: &Sample, direction: Direction) -> f64 {
+    one_sided_distance_ecdf(&Ecdf::new(observed), &Ecdf::new(criteria), direction)
+}
+
+/// [`one_sided_distance`] over prebuilt ECDFs — the fast path when one
+/// criteria distribution screens many observations.
+pub fn one_sided_distance_ecdf(observed: &Ecdf, criteria: &Ecdf, direction: Direction) -> f64 {
+    let mut grid = Vec::new();
     match direction {
-        Direction::HigherIsBetter => integrate(observed, criteria, |fo, fc| (fo - fc).max(0.0)),
-        Direction::LowerIsBetter => integrate(observed, criteria, |fo, fc| (fc - fo).max(0.0)),
+        Direction::HigherIsBetter => {
+            integrate_ecdf(observed, criteria, &mut grid, |fo, fc| (fo - fc).max(0.0))
+        }
+        Direction::LowerIsBetter => {
+            integrate_ecdf(observed, criteria, &mut grid, |fo, fc| (fc - fo).max(0.0))
+        }
     }
 }
 
@@ -90,22 +112,38 @@ pub fn one_sided_similarity(observed: &Sample, criteria: &Sample, direction: Dir
 ///
 /// `numerator(f1, f2)` receives the two CDF values on each constant segment;
 /// it must be bounded by `max(f1, f2)` so the normalized result stays in
-/// `[0, 1]`.
-fn integrate(s1: &Sample, s2: &Sample, numerator: impl Fn(f64, f64) -> f64) -> f64 {
-    let e1 = Ecdf::new(s1);
-    let e2 = Ecdf::new(s2);
-    let grid = e1.merged_breakpoints(&e2);
+/// `[0, 1]`. The CDF values come from a linear merge walk over the two
+/// supports — the running count of values `<= x0` equals what
+/// [`Ecdf::eval`]'s binary search returns, so results are bit-identical to
+/// evaluating per window, without the `O(log n)` lookup. `grid` is a
+/// caller-reusable buffer for the merged breakpoints.
+fn integrate_ecdf(
+    e1: &Ecdf,
+    e2: &Ecdf,
+    grid: &mut Vec<f64>,
+    numerator: impl Fn(f64, f64) -> f64,
+) -> f64 {
+    e1.merged_breakpoints_into(e2, grid);
     let upper = *grid.last().expect("samples are non-empty");
     if upper <= 0.0 {
         // All measurements are zero in both samples: identical distributions.
         return 0.0;
     }
+    let (s1, s2) = (e1.support(), e2.support());
+    let (n1, n2) = (s1.len() as f64, s2.len() as f64);
+    let (mut c1, mut c2) = (0usize, 0usize);
     let mut area = 0.0;
     for window in grid.windows(2) {
         let (x0, x1) = (window[0], window[1]);
         // CDFs are right-continuous steps: constant on [x0, x1).
-        let f1 = e1.eval(x0);
-        let f2 = e2.eval(x0);
+        while c1 < s1.len() && s1[c1] <= x0 {
+            c1 += 1;
+        }
+        while c2 < s2.len() && s2[c2] <= x0 {
+            c2 += 1;
+        }
+        let f1 = c1 as f64 / n1;
+        let f2 = c2 as f64 / n2;
         let denom = f1.max(f2);
         if denom > 0.0 {
             area += numerator(f1, f2) / denom * (x1 - x0);
@@ -114,19 +152,63 @@ fn integrate(s1: &Sample, s2: &Sample, numerator: impl Fn(f64, f64) -> f64) -> f
     (area / upper).clamp(0.0, 1.0)
 }
 
+/// Sample pairs per parallel task in the pairwise loops. Fixed (never
+/// derived from the thread count) so the work decomposition is identical
+/// at any parallelism.
+const PAIRS_PER_CHUNK: usize = 32;
+
+/// Upper-triangle pairs `(i, j)`, `i < j`, in the row-major order the
+/// sequential double loop visits them.
+fn upper_triangle_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs
+}
+
+/// Per-pair similarities over the upper triangle, computed on prebuilt
+/// ECDFs in parallel, returned in row-major pair order.
+fn upper_triangle_similarities(samples: &[Sample], threads: usize) -> Vec<((usize, usize), f64)> {
+    let ecdfs: Vec<Ecdf> = samples.iter().map(Ecdf::new).collect();
+    let pairs = upper_triangle_pairs(samples.len());
+    let ecdfs_ref = &ecdfs;
+    let per_chunk: Vec<Vec<((usize, usize), f64)>> =
+        anubis_parallel::map_chunks(&pairs, PAIRS_PER_CHUNK, threads, |_, chunk| {
+            let mut grid = Vec::new();
+            chunk
+                .iter()
+                .map(|&(i, j)| {
+                    let d = integrate_ecdf(&ecdfs_ref[i], &ecdfs_ref[j], &mut grid, |f1, f2| {
+                        (f1 - f2).abs()
+                    });
+                    ((i, j), 1.0 - d)
+                })
+                .collect()
+        });
+    per_chunk.into_iter().flatten().collect()
+}
+
 /// Full pairwise similarity matrix for a set of samples.
 ///
 /// The matrix is symmetric with unit diagonal. Used by the criteria
-/// clustering (Algorithm 2) and the repeatability metric.
+/// clustering (Algorithm 2) and the repeatability metric. Only the upper
+/// triangle is computed (once, in parallel); entries are identical to the
+/// sequential pairwise loop at any thread count.
 pub fn pairwise_similarity_matrix(samples: &[Sample]) -> Vec<Vec<f64>> {
+    pairwise_similarity_matrix_threads(samples, 0)
+}
+
+/// [`pairwise_similarity_matrix`] with an explicit worker-thread count
+/// (`0` = auto); exposed so tests can pin the parallelism.
+pub fn pairwise_similarity_matrix_threads(samples: &[Sample], threads: usize) -> Vec<Vec<f64>> {
     let n = samples.len();
     let mut matrix = vec![vec![1.0; n]; n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let s = similarity(&samples[i], &samples[j]);
-            matrix[i][j] = s;
-            matrix[j][i] = s;
-        }
+    for ((i, j), s) in upper_triangle_similarities(samples, threads) {
+        matrix[i][j] = s;
+        matrix[j][i] = s;
     }
     matrix
 }
@@ -135,7 +217,9 @@ pub fn pairwise_similarity_matrix(samples: &[Sample]) -> Vec<Vec<f64>> {
 /// similarities across `N` different nodes or runs (Section 3.4).
 ///
 /// Returns 1.0 for fewer than two samples (a single run is trivially
-/// repeatable).
+/// repeatable). Pairs are computed in parallel and summed in the
+/// sequential loop's pair order, so the mean is bit-identical at any
+/// thread count.
 pub fn mean_pairwise_similarity(samples: &[Sample]) -> f64 {
     let n = samples.len();
     if n < 2 {
@@ -143,11 +227,9 @@ pub fn mean_pairwise_similarity(samples: &[Sample]) -> f64 {
     }
     let mut total = 0.0;
     let mut count = 0usize;
-    for i in 0..n {
-        for j in i + 1..n {
-            total += similarity(&samples[i], &samples[j]);
-            count += 1;
-        }
+    for (_, s) in upper_triangle_similarities(samples, 0) {
+        total += s;
+        count += 1;
     }
     total / count as f64
 }

@@ -72,18 +72,41 @@ impl Ecdf {
         *self.sorted.last().expect("non-empty")
     }
 
+    /// The sorted support points (with duplicates), i.e. the underlying
+    /// measurements.
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
     /// Sorted support points with duplicates removed, i.e. the breakpoints
     /// of the step function.
     pub fn breakpoints(&self) -> Vec<f64> {
-        let mut points = self.sorted.clone();
-        points.dedup();
+        let mut points = Vec::new();
+        self.breakpoints_into(&mut points);
         points
+    }
+
+    /// [`Ecdf::breakpoints`] writing into a caller-owned buffer, so hot
+    /// integration loops reuse one allocation across calls.
+    pub fn breakpoints_into(&self, points: &mut Vec<f64>) {
+        points.clear();
+        points.extend_from_slice(&self.sorted);
+        points.dedup();
     }
 
     /// Merges the breakpoints of two ECDFs into one ascending, deduplicated
     /// grid — the integration grid for the CDF-space distances.
     pub fn merged_breakpoints(&self, other: &Ecdf) -> Vec<f64> {
-        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let mut merged = Vec::new();
+        self.merged_breakpoints_into(other, &mut merged);
+        merged
+    }
+
+    /// [`Ecdf::merged_breakpoints`] writing into a caller-owned buffer, so
+    /// the Eq. (2) integration path reuses one grid allocation per pair.
+    pub fn merged_breakpoints_into(&self, other: &Ecdf, merged: &mut Vec<f64>) {
+        merged.clear();
+        merged.reserve(self.sorted.len() + other.sorted.len());
         let (a, b) = (&self.sorted, &other.sorted);
         let (mut i, mut j) = (0, 0);
         while i < a.len() || j < b.len() {
@@ -110,7 +133,6 @@ impl Ecdf {
                 merged.push(next);
             }
         }
-        merged
     }
 }
 

@@ -30,8 +30,9 @@ pub mod seasonal;
 pub mod stats;
 
 pub use distance::{
-    cdf_distance, mean_pairwise_similarity, one_sided_distance, one_sided_similarity,
-    pairwise_similarity_matrix, similarity, Direction,
+    cdf_distance, cdf_distance_ecdf, mean_pairwise_similarity, one_sided_distance,
+    one_sided_distance_ecdf, one_sided_similarity, pairwise_similarity_matrix,
+    pairwise_similarity_matrix_threads, similarity, similarity_ecdf, Direction,
 };
 pub use ecdf::Ecdf;
 pub use error::{MetricsError, Result};

@@ -1,7 +1,10 @@
 //! Property-based tests for the statistics substrate invariants.
 
 use anubis_metrics::outlier::{KMeans, KMeansConfig};
-use anubis_metrics::{cdf_distance, one_sided_distance, similarity, Direction, Ecdf, Sample};
+use anubis_metrics::{
+    cdf_distance, cdf_distance_ecdf, one_sided_distance, pairwise_similarity_matrix,
+    pairwise_similarity_matrix_threads, similarity, Direction, Ecdf, Sample,
+};
 use proptest::prelude::*;
 
 /// Strategy: non-empty vectors of plausible benchmark measurements.
@@ -68,6 +71,38 @@ proptest! {
         let d = cdf_distance(&a, &b);
         let d_scaled = cdf_distance(&scaled_a, &scaled_b);
         prop_assert!((d - d_scaled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prebuilt_ecdf_distance_matches_sample_path(a in measurements(), b in measurements()) {
+        // The Ecdf-accepting fast path must be bit-identical to the
+        // Sample-accepting entry point, which constructs the same ECDFs.
+        let sa = Sample::new(a).unwrap();
+        let sb = Sample::new(b).unwrap();
+        let via_samples = cdf_distance(&sa, &sb);
+        let via_ecdfs = cdf_distance_ecdf(&Ecdf::new(&sa), &Ecdf::new(&sb));
+        prop_assert_eq!(via_samples.to_bits(), via_ecdfs.to_bits());
+    }
+
+    #[test]
+    fn similarity_matrix_is_thread_count_invariant(raw in prop::collection::vec(
+        prop::collection::vec(1.0f64..1.0e6, 1..24), 2..10))
+    {
+        let samples: Vec<Sample> = raw.into_iter()
+            .map(|v| Sample::new(v).unwrap())
+            .collect();
+        let reference = pairwise_similarity_matrix(&samples);
+        for threads in [1usize, 2, 8] {
+            let matrix = pairwise_similarity_matrix_threads(&samples, threads);
+            prop_assert_eq!(&reference, &matrix);
+        }
+        // Symmetry and unit diagonal hold regardless of scheduling.
+        for (i, row) in reference.iter().enumerate() {
+            prop_assert_eq!(row[i].to_bits(), 1.0f64.to_bits());
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert_eq!(v.to_bits(), reference[j][i].to_bits());
+            }
+        }
     }
 
     #[test]

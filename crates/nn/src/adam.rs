@@ -67,6 +67,18 @@ impl Adam {
     /// architecture.
     pub fn step(&mut self, mlp: &mut Mlp, grads: &Gradients) {
         let flattened: Vec<f64> = Mlp::flatten_gradients(grads).collect();
+        self.step_flat(mlp, &flattened);
+    }
+
+    /// Applies one Adam update from an already-flattened gradient vector
+    /// (canonical order of [`Mlp::flattened_gradients`]). Bit-identical to
+    /// [`Adam::step`] on the equivalent [`Gradients`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flattened` (or this optimizer) was created for a
+    /// different architecture.
+    pub fn step_flat(&mut self, mlp: &mut Mlp, flattened: &[f64]) {
         assert_eq!(
             flattened.len(),
             self.first_moment.len(),
@@ -79,15 +91,30 @@ impl Adam {
         let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.learning_rate, self.epsilon);
         let decay = self.weight_decay;
         let (m, v) = (&mut self.first_moment, &mut self.second_moment);
-        mlp.for_each_parameter(|i, value| {
-            let g = flattened[i];
-            m[i] = b1 * m[i] + (1.0 - b1) * g;
-            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
-            let m_hat = m[i] / bias1;
-            let v_hat = v[i] / bias2;
-            *value -= lr * decay * *value;
-            *value -= lr * m_hat / (v_hat.sqrt() + eps);
-        });
+        // Walk the parameters as contiguous per-layer slices zipped with
+        // the matching moment/gradient windows: the per-parameter update
+        // is op-for-op the one the indexed closure form performed (so
+        // results are bit-identical), but the elementwise loop vectorizes
+        // (packed sqrt/divide included).
+        let mut offset = 0;
+        for params in mlp.parameter_slices_mut() {
+            let count = params.len();
+            let zipped = params
+                .iter_mut()
+                .zip(&mut m[offset..offset + count])
+                .zip(&mut v[offset..offset + count])
+                .zip(&flattened[offset..offset + count]);
+            for (((value, mi), vi), &g) in zipped {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let m_hat = *mi / bias1;
+                let v_hat = *vi / bias2;
+                *value -= lr * decay * *value;
+                *value -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            offset += count;
+        }
+        mlp.refresh_transposed();
     }
 
     /// Number of optimizer steps applied so far.

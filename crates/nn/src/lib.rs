@@ -15,9 +15,10 @@
 //! Everything is deterministic given a seed.
 
 pub mod adam;
+pub mod fastmath;
 pub mod mlp;
 pub mod scaler;
 
 pub use adam::Adam;
-pub use mlp::{Activation, Gradients, Mlp};
+pub use mlp::{Activation, BackwardScratch, ForwardCache, Gradients, Mlp};
 pub use scaler::StandardScaler;

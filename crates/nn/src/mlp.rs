@@ -19,7 +19,7 @@ impl Activation {
     fn apply(self, x: f64) -> f64 {
         match self {
             Self::Identity => x,
-            Self::Tanh => x.tanh(),
+            Self::Tanh => crate::fastmath::tanh(x),
             Self::Relu => x.max(0.0),
         }
     }
@@ -43,9 +43,15 @@ impl Activation {
 
 /// One dense layer: `y = f(W x + b)` with `W` stored row-major
 /// (`outputs × inputs`).
+///
+/// `weights_t` mirrors `weights` column-major (`inputs × outputs`) so the
+/// forward mat-vec can walk output neurons contiguously; it is derived
+/// state, refreshed by [`Mlp::for_each_parameter`] — the only place
+/// parameters mutate — and never read by the backward pass.
 #[derive(Debug, Clone)]
 struct Layer {
     weights: Vec<f64>,
+    weights_t: Vec<f64>,
     biases: Vec<f64>,
     inputs: usize,
     outputs: usize,
@@ -54,11 +60,50 @@ struct Layer {
 
 impl Layer {
     fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        let n = self.inputs;
+        let m = self.outputs;
+        let x = &input[..n.min(input.len())];
         output.clear();
+        output.resize(m, 0.0);
+        let out = &mut output[..m];
+        // Column-major accumulation over the transposed weights: for each
+        // input element, all output accumulators advance by one product.
+        // Neuron `o` still sums `w[o][i]·x[i]` in ascending `i` order
+        // starting from 0.0 — exactly the one-neuron `sum()` — so results
+        // are bit-identical; the elementwise inner loop merely lets the
+        // independent per-neuron chains run as SIMD lanes.
+        for (i, &xi) in x.iter().enumerate() {
+            let col = &self.weights_t[i * m..(i + 1) * m];
+            for (acc, &w) in out.iter_mut().zip(col) {
+                *acc += w * xi;
+            }
+        }
+        // Bias + activation as a second pass: each neuron's value and op
+        // sequence is unchanged, but batching the (branch-heavy, division-
+        // bound) tanh calls lets them run through the four-lane kernel.
+        match self.activation {
+            Activation::Tanh => {
+                for (acc, &b) in out.iter_mut().zip(&self.biases) {
+                    *acc += b;
+                }
+                crate::fastmath::tanh_slice(out);
+            }
+            act => {
+                for (acc, &b) in out.iter_mut().zip(&self.biases) {
+                    *acc = act.apply(*acc + b);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the column-major weight mirror from the row-major source.
+    fn refresh_transposed(&mut self) {
+        self.weights_t.resize(self.weights.len(), 0.0);
         for o in 0..self.outputs {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
-            output.push(self.activation.apply(z));
+            for (i, &w) in row.iter().enumerate() {
+                self.weights_t[i * self.outputs + o] = w;
+            }
         }
     }
 }
@@ -129,6 +174,17 @@ impl ForwardCache {
     }
 }
 
+/// Reusable delta buffers for allocation-free backward passes.
+///
+/// One scratch serves any number of [`Mlp::backward_flat`] calls on the
+/// same network; reuse avoids the per-call `Vec` allocations of
+/// [`Mlp::backward`] on hot training loops.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardScratch {
+    delta: Vec<f64>,
+    next_delta: Vec<f64>,
+}
+
 /// A feed-forward network with dense layers.
 ///
 /// # Examples
@@ -173,11 +229,15 @@ impl Mlp {
             };
             layers.push(Layer {
                 weights,
+                weights_t: Vec::new(),
                 biases: vec![0.0; outputs],
                 inputs,
                 outputs,
                 activation,
             });
+        }
+        for layer in &mut layers {
+            layer.refresh_transposed();
         }
         Self { layers }
     }
@@ -222,6 +282,42 @@ impl Mlp {
             activations.push(buffer.clone());
         }
         ForwardCache { activations }
+    }
+
+    /// Allocates a pre-sized, empty [`ForwardCache`] for [`Mlp::forward_into`].
+    pub fn empty_cache(&self) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(Vec::with_capacity(self.input_dim()));
+        for layer in &self.layers {
+            activations.push(Vec::with_capacity(layer.outputs));
+        }
+        ForwardCache { activations }
+    }
+
+    /// Runs a forward pass into a reusable cache: bit-identical activations
+    /// to [`Mlp::forward_cached`] with no allocations after the first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match [`Mlp::input_dim`].
+    pub fn forward_into(&self, input: &[f64], cache: &mut ForwardCache) {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        cache
+            .activations
+            .resize_with(self.layers.len() + 1, Vec::new);
+        cache.activations[0].clear();
+        cache.activations[0].extend_from_slice(input);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (before, after) = cache.activations.split_at_mut(l + 1);
+            layer.forward(&before[l], &mut after[0]);
+        }
+    }
+
+    /// Scalar-output forward pass through a reusable cache.
+    pub fn forward_scalar_into(&self, input: &[f64], cache: &mut ForwardCache) -> f64 {
+        debug_assert_eq!(self.output_dim(), 1);
+        self.forward_into(input, cache);
+        cache.output()[0]
     }
 
     /// Allocates a zeroed gradient accumulator matching this network.
@@ -284,6 +380,81 @@ impl Mlp {
         delta
     }
 
+    /// Backpropagates `output_grad` through the cached pass, **adding**
+    /// parameter gradients into `flat` (canonical order: layer by layer,
+    /// weights then biases — the order of [`Mlp::flattened_gradients`]).
+    ///
+    /// Performs the exact additions of [`Mlp::backward`] in the same
+    /// order, so accumulating several calls into one flat buffer is
+    /// bit-identical to accumulating them into a [`Gradients`]; the
+    /// reusable `scratch` replaces the per-call `Vec` allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad` does not match the output dimension or
+    /// `flat.len()` is not [`Mlp::parameter_count`].
+    pub fn backward_flat(
+        &self,
+        cache: &ForwardCache,
+        output_grad: &[f64],
+        flat: &mut [f64],
+        scratch: &mut BackwardScratch,
+    ) {
+        assert_eq!(
+            output_grad.len(),
+            self.output_dim(),
+            "output gradient mismatch"
+        );
+        assert_eq!(flat.len(), self.parameter_count(), "gradient shape mismatch");
+        let delta = &mut scratch.delta;
+        let next_delta = &mut scratch.next_delta;
+        delta.clear();
+        delta.extend_from_slice(output_grad);
+        // Flat offset of the layer *after* the current one, maintained
+        // while iterating in reverse.
+        let mut offset = self.parameter_count();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            offset -= layer.weights.len() + layer.biases.len();
+            let output = &cache.activations[l + 1];
+            let input = &cache.activations[l];
+            for (d, &y) in delta.iter_mut().zip(output) {
+                *d *= layer.activation.derivative_from_output(y);
+            }
+            let (w_grad, b_grad) = flat[offset..offset + layer.weights.len() + layer.biases.len()]
+                .split_at_mut(layer.weights.len());
+            let n = layer.inputs;
+            let x = &input[..n];
+            // The first layer's input gradient is never read, so skip it.
+            let need_next = l > 0;
+            next_delta.clear();
+            next_delta.resize(n, 0.0);
+            for o in 0..layer.outputs {
+                let d_o = delta[o];
+                b_grad[o] += d_o;
+                let row = o * n;
+                // Elementwise accumulations: every element sees the same
+                // single multiply-add it did in the nested scalar loop, so
+                // the streams vectorize while gradients stay bit-identical;
+                // fusing the weight-gradient and input-delta updates into
+                // one pass shares the loop and the `d_o` broadcast.
+                if need_next {
+                    let w = &layer.weights[row..row + n];
+                    let wg = &mut w_grad[row..row + n];
+                    let fused = wg.iter_mut().zip(x).zip(next_delta.iter_mut().zip(w));
+                    for ((g, &xi), (nd, &wi)) in fused {
+                        *g += d_o * xi;
+                        *nd += d_o * wi;
+                    }
+                } else {
+                    for (g, &xi) in w_grad[row..row + n].iter_mut().zip(x) {
+                        *g += d_o * xi;
+                    }
+                }
+            }
+            std::mem::swap(delta, next_delta);
+        }
+    }
+
     /// Flattens a gradient accumulator into the canonical parameter
     /// order (layer by layer, weights then biases) — useful for
     /// finite-difference verification and optimizer diagnostics.
@@ -309,8 +480,32 @@ impl Mlp {
             .sum()
     }
 
+    /// Yields each layer's parameter storage in canonical flattened order
+    /// (layer by layer, weights then biases) as mutable slices, so
+    /// optimizers can run vectorizable elementwise updates. Callers that
+    /// mutate through this **must** call [`Mlp::refresh_transposed`]
+    /// afterwards.
+    pub(crate) fn parameter_slices_mut(&mut self) -> impl Iterator<Item = &mut [f64]> + '_ {
+        self.layers.iter_mut().flat_map(|layer| {
+            let Layer {
+                weights, biases, ..
+            } = layer;
+            [weights.as_mut_slice(), biases.as_mut_slice()]
+        })
+    }
+
+    /// Rebuilds every layer's column-major weight mirror; required after
+    /// any parameter mutation that bypasses [`Mlp::for_each_parameter`].
+    pub(crate) fn refresh_transposed(&mut self) {
+        for layer in &mut self.layers {
+            layer.refresh_transposed();
+        }
+    }
+
     /// Applies an in-place update `θ ← θ + update(θ_index)`, visiting
     /// parameters layer by layer (weights then biases). Used by optimizers.
+    /// The forward pass's transposed weight mirror is refreshed afterwards,
+    /// keeping this the single gateway through which parameters change.
     pub(crate) fn for_each_parameter(&mut self, mut update: impl FnMut(usize, &mut f64)) {
         let mut index = 0;
         for layer in &mut self.layers {
@@ -322,6 +517,7 @@ impl Mlp {
                 update(index, b);
                 index += 1;
             }
+            layer.refresh_transposed();
         }
     }
 
@@ -461,6 +657,42 @@ mod tests {
         mlp.backward(&cache, &[1.0], &mut grads);
         grads.reset();
         assert_eq!(grads.norm(), 0.0);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_cached_bitwise() {
+        let mlp = Mlp::new(&[3, 8, 5, 2], Activation::Tanh, 11);
+        let mut cache = mlp.empty_cache();
+        for k in 0..5 {
+            let input = [0.3 * k as f64, -0.7, 1.9 - k as f64];
+            let fresh = mlp.forward_cached(&input);
+            mlp.forward_into(&input, &mut cache);
+            assert_eq!(fresh.activations, cache.activations);
+        }
+        let scalar = Mlp::new(&[2, 4, 1], Activation::Tanh, 3);
+        let mut cache = scalar.empty_cache();
+        assert_eq!(
+            scalar.forward_scalar_into(&[0.2, -0.4], &mut cache),
+            scalar.forward_scalar(&[0.2, -0.4])
+        );
+    }
+
+    #[test]
+    fn backward_flat_matches_backward_bitwise() {
+        let mlp = Mlp::new(&[2, 6, 4, 1], Activation::Relu, 13);
+        let mut grads = mlp.zero_gradients();
+        let mut flat = vec![0.0; mlp.parameter_count()];
+        let mut scratch = BackwardScratch::default();
+        // Accumulate several backward passes both ways; every intermediate
+        // state must agree bit for bit.
+        for k in 0..4 {
+            let cache = mlp.forward_cached(&[0.4 - k as f64, 0.9]);
+            let g = [cache.output()[0] - 0.5];
+            mlp.backward(&cache, &g, &mut grads);
+            mlp.backward_flat(&cache, &g, &mut flat, &mut scratch);
+            let reference: Vec<f64> = Mlp::flatten_gradients(&grads).collect();
+            assert_eq!(reference, flat);
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Deterministic data-parallel executor.
+//!
+//! Every workspace simulation promises bit-for-bit reproducible output
+//! (see `anubis-xtask lint`), so parallelism must never change results —
+//! only wall-clock time. This crate is the one place allowed to touch
+//! `std::thread` (the `raw-threading` lint forbids it elsewhere) and it
+//! enforces a simple contract that makes thread count unobservable:
+//!
+//! 1. **Fixed-size chunking.** Work is split into chunks whose size is a
+//!    caller-chosen constant, *independent of the thread count*. A chunk
+//!    is the unit of scheduling; the computation inside a chunk runs
+//!    sequentially, exactly as the single-threaded code would.
+//! 2. **Slot-indexed outputs.** Each chunk's result is tagged with its
+//!    chunk index and placed into a pre-determined output slot, so the
+//!    assembled output is ordered by chunk, never by completion time.
+//! 3. **Chunk-ordered reduction.** Folds over chunk results happen on the
+//!    caller's thread, in ascending chunk order. Floating-point
+//!    accumulation therefore associates identically at any thread count.
+//!
+//! Under this contract `threads = 1`, `threads = 8`, and
+//! `ANUBIS_THREADS=3` all produce bit-identical results; the property
+//! tests in `tests/proptests.rs` pin that down.
+//!
+//! # Examples
+//!
+//! ```
+//! use anubis_parallel::{map_chunks, reduce_chunks};
+//!
+//! let xs: Vec<f64> = (0..1000).map(f64::from).collect();
+//! // Chunked sum: same chunking (and therefore the same result) at any
+//! // thread count.
+//! let seq = reduce_chunks(&xs, 64, 1, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+//! let par = reduce_chunks(&xs, 64, 8, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+//! assert_eq!(seq, par);
+//! let squares = map_chunks(&xs, 128, 4, |_, c| c.iter().map(|x| x * x).sum::<f64>());
+//! assert_eq!(squares.len(), 8); // ceil(1000 / 128) chunk results, in chunk order
+//! ```
+
+use std::thread;
+
+/// Hard cap on worker threads; fleets of simulated nodes parallelize well
+/// past this point but the build machines rarely have more cores.
+const MAX_THREADS: usize = 16;
+
+/// Environment variable overriding the worker-thread count (`0` or unset
+/// selects the hardware default). Results never depend on this value.
+pub const THREADS_ENV: &str = "ANUBIS_THREADS";
+
+/// Worker-thread count from [`THREADS_ENV`], defaulting to the machine's
+/// available parallelism, clamped to `1..=16`.
+///
+/// Only wall-clock time depends on this; every executor entry point is
+/// bit-deterministic across thread counts.
+pub fn auto_threads() -> usize {
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    let threads = if configured == 0 {
+        thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        configured
+    };
+    threads.clamp(1, MAX_THREADS)
+}
+
+/// Resolves a caller-supplied thread count: `0` means [`auto_threads`],
+/// anything else is clamped to `1..=16`.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        auto_threads()
+    } else {
+        threads.clamp(1, MAX_THREADS)
+    }
+}
+
+/// Runs `tasks` on up to `threads` workers and returns their results in
+/// task order. Tasks are assigned to workers cyclically (task `i` to
+/// worker `i mod workers`) — a static schedule, so no ordering decision
+/// ever depends on timing.
+fn execute<T, R, F>(tasks: Vec<T>, threads: usize, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(tasks.len());
+    if workers <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| run(i, t))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        buckets[i % workers].push((i, task));
+    }
+    let run = &run;
+    let mut tagged: Vec<(usize, R)> = Vec::new();
+    let mut panic_payload = None;
+    thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, task)| (i, run(i, task)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(pairs) => tagged.extend(pairs),
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        // Re-raise the worker's panic on the caller thread (the scope has
+        // already joined every other worker).
+        std::panic::resume_unwind(payload);
+    }
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `items` into chunks of `chunk_size` (the last may be shorter),
+/// maps each chunk with `f(chunk_index, chunk)` on up to `threads`
+/// workers, and returns the per-chunk results **in chunk order**.
+///
+/// The chunking is a pure function of `items.len()` and `chunk_size`, so
+/// the output is bit-identical at any thread count.
+pub fn map_chunks<T, R, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let tasks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    execute(tasks, threads, |i, chunk| f(i, chunk))
+}
+
+/// [`map_chunks`] over mutable chunks: each worker owns a disjoint
+/// `&mut [T]` window, so per-item state (e.g. a simulated node's RNG)
+/// advances exactly as in a sequential loop.
+pub fn map_chunks_mut<T, R, F>(items: &mut [T], chunk_size: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let tasks: Vec<&mut [T]> = items.chunks_mut(chunk_size.max(1)).collect();
+    execute(tasks, threads, |i, chunk| f(i, chunk))
+}
+
+/// Maps `f` over every item, returning results in item order.
+///
+/// Scheduling granularity is one item; use [`map_chunks`] when per-item
+/// work is small enough that scheduling would dominate.
+pub fn map_items<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let tasks: Vec<&T> = items.iter().collect();
+    execute(tasks, threads, |_, item| f(item))
+}
+
+/// Maps `f` over the index range `0..n`, returning results in index
+/// order. The indexed twin of [`map_items`] for work that constructs its
+/// own inputs (e.g. one simulated node per fleet slot).
+pub fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let tasks: Vec<usize> = (0..n).collect();
+    execute(tasks, threads, |_, i| f(i))
+}
+
+/// Chunk-parallel reduction: maps each fixed-size chunk with `map`, then
+/// folds the per-chunk accumulators **in ascending chunk order** on the
+/// calling thread. Returns `None` for empty input.
+///
+/// Because the chunk boundaries and the fold order are both independent
+/// of the thread count, floating-point reductions associate identically
+/// at any thread count.
+pub fn reduce_chunks<T, A, M, F>(
+    items: &[T],
+    chunk_size: usize,
+    threads: usize,
+    map: M,
+    fold: F,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    F: Fn(A, A) -> A,
+{
+    let partials = map_chunks(items, chunk_size, threads, map);
+    partials.into_iter().reduce(fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u64> = (0..103).collect();
+        for threads in [1, 2, 5, 16] {
+            let sums = map_chunks(&items, 10, threads, |idx, chunk| {
+                (idx, chunk.iter().sum::<u64>())
+            });
+            assert_eq!(sums.len(), 11);
+            for (slot, (idx, _)) in sums.iter().enumerate() {
+                assert_eq!(slot, *idx);
+            }
+            assert_eq!(sums.iter().map(|(_, s)| s).sum::<u64>(), 103 * 102 / 2);
+        }
+    }
+
+    #[test]
+    fn map_chunks_mut_covers_every_item_once() {
+        for threads in [1, 3, 8] {
+            let mut items = vec![0u32; 57];
+            map_chunks_mut(&mut items, 5, threads, |_, chunk| {
+                for item in chunk.iter_mut() {
+                    *item += 1;
+                }
+            });
+            assert!(items.iter().all(|&v| v == 1));
+        }
+    }
+
+    #[test]
+    fn map_items_and_indexed_agree() {
+        let items: Vec<usize> = (0..37).collect();
+        let a = map_items(&items, 4, |&i| i * i);
+        let b = map_indexed(items.len(), 4, |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_chunks_is_thread_count_invariant() {
+        // A deliberately ill-conditioned float sum: any re-association
+        // across chunk boundaries would change the bits.
+        let items: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 3.14159 })
+            .collect();
+        let reference = reduce_chunks(&items, 7, 1, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+        for threads in [2, 3, 8, 16] {
+            let parallel =
+                reduce_chunks(&items, 7, threads, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+            assert_eq!(reference, parallel);
+        }
+        assert_eq!(
+            reduce_chunks::<f64, f64, _, _>(&[], 4, 2, |_, c| c.iter().sum(), |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_chunks(&empty, 4, 8, |_, c| c.len()).is_empty());
+        assert_eq!(map_chunks(&[1u8], 0, 8, |_, c| c.len()), vec![1]);
+        assert!(map_indexed(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(10_000), MAX_THREADS);
+        assert!(auto_threads() >= 1 && auto_threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(16, 4, |i| {
+                assert!(i != 9, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

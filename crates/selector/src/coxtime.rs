@@ -17,7 +17,7 @@
 
 use crate::status::NodeStatus;
 use crate::survival::{SurvivalModel, SurvivalSample, TBNI_CAP_HOURS};
-use anubis_nn::{Activation, Adam, Mlp, StandardScaler};
+use anubis_nn::{Activation, Adam, BackwardScratch, ForwardCache, Mlp, StandardScaler};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -42,6 +42,10 @@ pub struct CoxTimeConfig {
     pub weight_decay: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the epoch and Breslow loops (`0` = auto, see
+    /// [`anubis_parallel::auto_threads`]). The fitted model is bit-identical
+    /// at any thread count.
+    pub threads: usize,
 }
 
 impl Default for CoxTimeConfig {
@@ -55,9 +59,20 @@ impl Default for CoxTimeConfig {
             baseline_buckets: 96,
             weight_decay: 1e-4,
             seed: 7,
+            threads: 0,
         }
     }
 }
+
+/// Events per parallel gradient chunk during training. Fixed (not derived
+/// from the thread count) so the chunking — and therefore every
+/// floating-point merge order — is identical at any parallelism.
+const EVENTS_PER_CHUNK: usize = 8;
+
+/// Parameters per parallel merge range. The per-parameter addition order
+/// is independent of how the parameter axis is partitioned, so this only
+/// affects scheduling granularity.
+const PARAMS_PER_RANGE: usize = 1024;
 
 /// A fitted Cox-Time model.
 #[derive(Debug, Clone)]
@@ -108,57 +123,196 @@ impl CoxTimeModel {
         let mut adam = Adam::new(&net, config.learning_rate).with_weight_decay(config.weight_decay);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed);
 
-        let net_input = |t: f64, x: &[f64]| -> Vec<f64> {
-            let mut input = Vec::with_capacity(1 + x.len());
+        let fill_input = |input: &mut Vec<f64>, t: f64, x: &[f64]| {
+            input.clear();
             input.push(t / time_scale);
             input.extend_from_slice(x);
-            input
         };
 
+        let threads = config.threads;
+        let workers = anubis_parallel::resolve_threads(threads);
+        let p = net.parameter_count();
+        // Flat per-batch gradient accumulator (canonical parameter order),
+        // reused across batches.
+        let mut acc = vec![0.0f64; p];
+        // Scratch state for the single-worker fast path, reused across the
+        // whole fit.
+        let mut scratch = BackwardScratch::default();
+        let mut cache_i = net.empty_cache();
+        let mut caches: Vec<ForwardCache> = Vec::new();
+        let mut input: Vec<f64> = Vec::new();
+        let mut exps: Vec<f64> = Vec::new();
+        let mut controls_buf: Vec<usize> = Vec::new();
         let mut order = events.clone();
         for _ in 0..config.epochs {
             order.shuffle(&mut rng);
             for batch in order.chunks(config.batch_size.max(1)) {
-                let mut grads = net.zero_gradients();
-                let mut batch_events = 0usize;
-                for &i in batch {
-                    let t_i = samples[i].duration;
-                    // Controls: uniform from the risk-set suffix.
-                    let suffix_start = rank_of[i];
-                    let suffix_len = samples.len() - suffix_start;
-                    if suffix_len < 2 {
-                        continue;
-                    }
-                    let mut controls = Vec::with_capacity(config.controls_per_event);
-                    for _ in 0..config.controls_per_event {
-                        let pick = by_duration[suffix_start + rng.random_range(0..suffix_len)];
-                        if pick != i {
-                            controls.push(pick);
+                let batch_events = if workers == 1 {
+                    // Single worker: accumulate each backward call straight
+                    // into `acc`. Every parameter receives exactly one
+                    // addition per call, applied in global call order — the
+                    // same addition sequence the chunked merge below
+                    // replays, so both paths are bit-identical. The RNG
+                    // draws interleave with the compute here, but consume
+                    // the stream in the same event order as the pre-draw
+                    // loop in the parallel branch.
+                    acc.fill(0.0);
+                    let mut batch_events = 0usize;
+                    for &i in batch {
+                        // Controls: uniform from the risk-set suffix.
+                        let suffix_start = rank_of[i];
+                        let suffix_len = samples.len() - suffix_start;
+                        if suffix_len < 2 {
+                            continue;
+                        }
+                        controls_buf.clear();
+                        for _ in 0..config.controls_per_event {
+                            let pick = by_duration[suffix_start + rng.random_range(0..suffix_len)];
+                            if pick != i {
+                                controls_buf.push(pick);
+                            }
+                        }
+                        if controls_buf.is_empty() {
+                            continue;
+                        }
+                        batch_events += 1;
+                        let t_i = samples[i].duration;
+                        fill_input(&mut input, t_i, &scaled[i]);
+                        net.forward_into(&input, &mut cache_i);
+                        let g_i = cache_i.output()[0];
+                        while caches.len() < controls_buf.len() {
+                            caches.push(net.empty_cache());
+                        }
+                        exps.clear();
+                        for (c, &j) in controls_buf.iter().enumerate() {
+                            fill_input(&mut input, t_i, &scaled[j]);
+                            net.forward_into(&input, &mut caches[c]);
+                            // Softplus-style loss: ln(1 + Σ exp(g_j − g_i)).
+                            exps.push((caches[c].output()[0] - g_i).exp());
+                        }
+                        let denom = 1.0 + exps.iter().sum::<f64>();
+                        net.backward_flat(
+                            &cache_i,
+                            &[-(denom - 1.0) / denom],
+                            &mut acc,
+                            &mut scratch,
+                        );
+                        for (c, &e) in exps.iter().enumerate() {
+                            net.backward_flat(&caches[c], &[e / denom], &mut acc, &mut scratch);
                         }
                     }
-                    if controls.is_empty() {
+                    batch_events
+                } else {
+                    // Draw every control index on this thread, in event
+                    // order: the RNG stream is exactly the sequential
+                    // loop's.
+                    let mut tasks: Vec<(usize, Vec<usize>)> = Vec::with_capacity(batch.len());
+                    for &i in batch {
+                        // Controls: uniform from the risk-set suffix.
+                        let suffix_start = rank_of[i];
+                        let suffix_len = samples.len() - suffix_start;
+                        if suffix_len < 2 {
+                            continue;
+                        }
+                        let mut controls = Vec::with_capacity(config.controls_per_event);
+                        for _ in 0..config.controls_per_event {
+                            let pick = by_duration[suffix_start + rng.random_range(0..suffix_len)];
+                            if pick != i {
+                                controls.push(pick);
+                            }
+                        }
+                        if controls.is_empty() {
+                            continue;
+                        }
+                        tasks.push((i, controls));
+                    }
+                    if tasks.is_empty() {
                         continue;
                     }
-                    batch_events += 1;
-                    let cache_i = net.forward_cached(&net_input(t_i, &scaled[i]));
-                    let g_i = cache_i.output()[0];
-                    let caches: Vec<_> = controls
-                        .iter()
-                        .map(|&j| net.forward_cached(&net_input(t_i, &scaled[j])))
-                        .collect();
-                    // Softplus-style loss: ln(1 + Σ exp(g_j − g_i)).
-                    let exps: Vec<f64> =
-                        caches.iter().map(|c| (c.output()[0] - g_i).exp()).collect();
-                    let denom = 1.0 + exps.iter().sum::<f64>();
-                    net.backward(&cache_i, &[-(denom - 1.0) / denom], &mut grads);
-                    for (cache, &e) in caches.iter().zip(&exps) {
-                        net.backward(cache, &[e / denom], &mut grads);
-                    }
+                    // Forward/backward each fixed-size event chunk into flat
+                    // per-call contribution buffers. Within a backward call
+                    // every parameter receives exactly one addition, so
+                    // merging the calls in order below replays the
+                    // sequential accumulation addition-for-addition.
+                    let net_ref = &net;
+                    let chunk_grads: Vec<Vec<f64>> =
+                        anubis_parallel::map_chunks(&tasks, EVENTS_PER_CHUNK, threads, |_, chunk| {
+                            let calls: usize = chunk.iter().map(|(_, c)| 1 + c.len()).sum();
+                            let mut flat = vec![0.0f64; calls * p];
+                            let mut scratch = BackwardScratch::default();
+                            let mut cache_i = net_ref.empty_cache();
+                            let mut caches: Vec<ForwardCache> = Vec::new();
+                            let mut input: Vec<f64> = Vec::new();
+                            let mut exps: Vec<f64> = Vec::new();
+                            let mut call = 0usize;
+                            for (i, controls) in chunk {
+                                let t_i = samples[*i].duration;
+                                fill_input(&mut input, t_i, &scaled[*i]);
+                                net_ref.forward_into(&input, &mut cache_i);
+                                let g_i = cache_i.output()[0];
+                                while caches.len() < controls.len() {
+                                    caches.push(net_ref.empty_cache());
+                                }
+                                exps.clear();
+                                for (c, &j) in controls.iter().enumerate() {
+                                    fill_input(&mut input, t_i, &scaled[j]);
+                                    net_ref.forward_into(&input, &mut caches[c]);
+                                    // Softplus-style loss: ln(1 + Σ exp(g_j − g_i)).
+                                    exps.push((caches[c].output()[0] - g_i).exp());
+                                }
+                                let denom = 1.0 + exps.iter().sum::<f64>();
+                                net_ref.backward_flat(
+                                    &cache_i,
+                                    &[-(denom - 1.0) / denom],
+                                    &mut flat[call * p..(call + 1) * p],
+                                    &mut scratch,
+                                );
+                                call += 1;
+                                for (c, &e) in exps.iter().enumerate() {
+                                    net_ref.backward_flat(
+                                        &caches[c],
+                                        &[e / denom],
+                                        &mut flat[call * p..(call + 1) * p],
+                                        &mut scratch,
+                                    );
+                                    call += 1;
+                                }
+                            }
+                            flat
+                        });
+                    // Merge per-call contributions in global call order; the
+                    // parameter axis partitions freely because each
+                    // parameter's addition chain is independent of the
+                    // others.
+                    acc.fill(0.0);
+                    let chunk_grads_ref = &chunk_grads;
+                    anubis_parallel::map_chunks_mut(
+                        &mut acc,
+                        PARAMS_PER_RANGE,
+                        threads,
+                        |range_idx, acc_range| {
+                            let lo = range_idx * PARAMS_PER_RANGE;
+                            for buf in chunk_grads_ref {
+                                for call_base in (0..buf.len()).step_by(p) {
+                                    let base = call_base + lo;
+                                    let contrib = &buf[base..base + acc_range.len()];
+                                    for (a, &g) in acc_range.iter_mut().zip(contrib) {
+                                        *a += g;
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    tasks.len()
+                };
+                if batch_events == 0 {
+                    continue;
                 }
-                if batch_events > 0 {
-                    grads.scale(1.0 / batch_events as f64);
-                    adam.step(&mut net, &grads);
+                let inv = 1.0 / batch_events as f64;
+                for g in &mut acc {
+                    *g *= inv;
                 }
+                adam.step_flat(&mut net, &acc);
             }
         }
 
@@ -171,7 +325,10 @@ impl CoxTimeModel {
         event_times.sort_by(f64::total_cmp);
         let buckets = config.baseline_buckets.max(1).min(event_times.len());
         let per_bucket = event_times.len().div_ceil(buckets);
-        let mut baseline = Vec::with_capacity(buckets);
+        // Bucket geometry is cheap and sequential; each bucket's risk-set
+        // sum then runs on its own worker, folding in the by_duration
+        // suffix order the sequential loop used.
+        let mut specs: Vec<(f64, f64, f64, usize)> = Vec::with_capacity(buckets);
         let mut k = 0usize;
         while k < event_times.len() {
             let end = (k + per_bucket).min(event_times.len());
@@ -181,18 +338,28 @@ impl CoxTimeModel {
             // Risk set: samples still at risk at the bucket's median
             // event.
             let start_rank = by_duration.partition_point(|&i| samples[i].duration < t_mid);
-            let risk_sum: f64 = by_duration[start_rank..]
-                .iter()
-                .map(|&j| net.forward_scalar(&net_input(t_mid, &scaled[j])).exp())
-                .sum();
-            let delta = if risk_sum > 0.0 {
-                deaths / risk_sum
-            } else {
-                0.0
-            };
-            baseline.push((t_bucket, delta));
+            specs.push((t_bucket, t_mid, deaths, start_rank));
             k = end;
         }
+        let net_ref = &net;
+        let baseline: Vec<(f64, f64)> =
+            anubis_parallel::map_items(&specs, threads, |&(t_bucket, t_mid, deaths, start_rank)| {
+                let mut cache = net_ref.empty_cache();
+                let mut input: Vec<f64> = Vec::new();
+                let risk_sum: f64 = by_duration[start_rank..]
+                    .iter()
+                    .map(|&j| {
+                        fill_input(&mut input, t_mid, &scaled[j]);
+                        net_ref.forward_scalar_into(&input, &mut cache).exp()
+                    })
+                    .sum();
+                let delta = if risk_sum > 0.0 {
+                    deaths / risk_sum
+                } else {
+                    0.0
+                };
+                (t_bucket, delta)
+            });
 
         Self {
             net,
@@ -204,21 +371,18 @@ impl CoxTimeModel {
 
     /// The risk score `g(t, x)` for a status at time `t`.
     pub fn log_risk(&self, status: &NodeStatus, t: f64) -> f64 {
-        let x = self.scaler.transform(&status.features());
-        let mut input = Vec::with_capacity(1 + x.len());
-        input.push(t / self.time_scale);
-        input.extend(x);
-        self.net.forward_scalar(&input)
+        RiskEval::new(self, status).log_risk(t)
     }
 
     /// Survival probability `S(t|x)`.
     pub fn survival(&self, status: &NodeStatus, t: f64) -> f64 {
+        let mut eval = RiskEval::new(self, status);
         let mut cumulative = 0.0;
         for &(time, delta) in &self.baseline {
             if time > t {
                 break;
             }
-            cumulative += delta * self.log_risk(status, time).exp();
+            cumulative += delta * eval.log_risk(time).exp();
         }
         (-cumulative).exp()
     }
@@ -229,21 +393,55 @@ impl CoxTimeModel {
     }
 }
 
+/// Per-status evaluation state: features are scaled once and the forward
+/// cache plus input buffer are reused across baseline buckets, instead of
+/// re-deriving them for every `log_risk` call.
+struct RiskEval<'m> {
+    model: &'m CoxTimeModel,
+    x: Vec<f64>,
+    input: Vec<f64>,
+    cache: ForwardCache,
+}
+
+impl<'m> RiskEval<'m> {
+    fn new(model: &'m CoxTimeModel, status: &NodeStatus) -> Self {
+        let x = model.scaler.transform(&status.features());
+        Self {
+            input: Vec::with_capacity(1 + x.len()),
+            cache: model.net.empty_cache(),
+            model,
+            x,
+        }
+    }
+
+    /// `g(t, x)` — bit-identical to [`CoxTimeModel::log_risk`].
+    fn log_risk(&mut self, t: f64) -> f64 {
+        self.input.clear();
+        self.input.push(t / self.model.time_scale);
+        self.input.extend_from_slice(&self.x);
+        self.model.net.forward_scalar_into(&self.input, &mut self.cache)
+    }
+}
+
 impl SurvivalModel for CoxTimeModel {
     fn expected_tbni(&self, status: &NodeStatus) -> f64 {
         // ∫₀^cap S(t|x) dt over the piecewise-constant survival curve.
+        let mut eval = RiskEval::new(self, status);
         let mut integral = 0.0;
         let mut prev_t = 0.0;
         let mut survival = 1.0;
         let mut last_rate = 0.0;
         for &(time, delta) in &self.baseline {
             let t = time.min(TBNI_CAP_HOURS);
+            // One network evaluation per bucket (the sequential code
+            // recomputed this identical value up to twice).
+            let risk = eval.log_risk(time).exp();
             if t > prev_t {
                 integral += survival * (t - prev_t);
-                last_rate = delta * self.log_risk(status, time).exp() / (t - prev_t);
+                last_rate = delta * risk / (t - prev_t);
                 prev_t = t;
             }
-            survival *= (-delta * self.log_risk(status, time).exp()).exp();
+            survival *= (-delta * risk).exp();
             if prev_t >= TBNI_CAP_HOURS {
                 break;
             }
@@ -394,6 +592,36 @@ mod tests {
             s.event = false;
         }
         CoxTimeModel::fit(&samples, &quick_config());
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let samples = synthetic_samples(150, 9);
+        let fit_with = |threads: usize| {
+            let config = CoxTimeConfig {
+                threads,
+                epochs: 4,
+                hidden: vec![12],
+                baseline_buckets: 16,
+                ..Default::default()
+            };
+            CoxTimeModel::fit(&samples, &config)
+        };
+        let reference = fit_with(1);
+        for threads in [2, 8] {
+            let model = fit_with(threads);
+            assert_eq!(reference.baseline(), model.baseline());
+            for status in [healthy_status(), worn_status()] {
+                assert_eq!(
+                    reference.expected_tbni(&status),
+                    model.expected_tbni(&status)
+                );
+                assert_eq!(
+                    reference.survival(&status, 100.0),
+                    model.survival(&status, 100.0)
+                );
+            }
+        }
     }
 
     #[test]

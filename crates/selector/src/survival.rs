@@ -37,15 +37,12 @@ pub trait SurvivalModel {
 /// per-hour baselines) score exactly 0.5 by convention (ties count ½),
 /// which makes the C-index a sharper discriminator than the capped-L1
 /// accuracy when the TBNI distribution is concentrated.
-pub fn concordance_index(model: &dyn SurvivalModel, samples: &[SurvivalSample]) -> f64 {
+pub fn concordance_index(model: &(dyn SurvivalModel + Sync), samples: &[SurvivalSample]) -> f64 {
     let events: Vec<&SurvivalSample> = samples.iter().filter(|s| s.event).collect();
     if events.len() < 2 {
         return 0.5;
     }
-    let predictions: Vec<f64> = events
-        .iter()
-        .map(|s| model.expected_tbni(&s.status))
-        .collect();
+    let predictions = parallel_predictions(model, &events);
     let mut concordant = 0.0f64;
     let mut comparable = 0.0f64;
     for i in 0..events.len() {
@@ -72,20 +69,39 @@ pub fn concordance_index(model: &dyn SurvivalModel, samples: &[SurvivalSample]) 
 
 /// Mean prediction accuracy over event samples:
 /// `mean(1 − |prediction − TBNI| / cap)` — the Table 3 metric.
-pub fn model_accuracy(model: &dyn SurvivalModel, samples: &[SurvivalSample]) -> f64 {
+pub fn model_accuracy(model: &(dyn SurvivalModel + Sync), samples: &[SurvivalSample]) -> f64 {
     let events: Vec<&SurvivalSample> = samples.iter().filter(|s| s.event).collect();
     if events.is_empty() {
         return 0.0;
     }
+    let predictions = parallel_predictions(model, &events);
     let total: f64 = events
         .iter()
-        .map(|s| {
-            let prediction = model.expected_tbni(&s.status).min(TBNI_CAP_HOURS);
+        .zip(&predictions)
+        .map(|(s, &p)| {
+            let prediction = p.min(TBNI_CAP_HOURS);
             let actual = s.duration.min(TBNI_CAP_HOURS);
             1.0 - (prediction - actual).abs() / TBNI_CAP_HOURS
         })
         .sum();
     total / events.len() as f64
+}
+
+/// Samples per parallel prediction chunk; fixed so the output layout is a
+/// pure function of the event count.
+const SAMPLES_PER_CHUNK: usize = 64;
+
+/// Per-sample TBNI predictions in sample order. Predictions are mutually
+/// independent, so computing them on workers and aggregating sequentially
+/// is bit-identical to the sequential loop at any thread count.
+fn parallel_predictions(model: &(dyn SurvivalModel + Sync), events: &[&SurvivalSample]) -> Vec<f64> {
+    let per_chunk: Vec<Vec<f64>> = anubis_parallel::map_chunks(events, SAMPLES_PER_CHUNK, 0, |_, chunk| {
+        chunk
+            .iter()
+            .map(|s| model.expected_tbni(&s.status))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------------

@@ -79,7 +79,7 @@ proptest! {
             })
             .collect();
         for model in [
-            Box::new(ExponentialModel::fit(&samples)) as Box<dyn SurvivalModel>,
+            Box::new(ExponentialModel::fit(&samples)) as Box<dyn SurvivalModel + Sync>,
             Box::new(ExponentialPerCountModel::fit(&samples)),
         ] {
             let status = samples[0].status.clone();

@@ -1,6 +1,6 @@
 //! Criteria calculation (paper Algorithm 2).
 
-use anubis_metrics::{pairwise_similarity_matrix, stats, MetricsError, Sample};
+use anubis_metrics::{pairwise_similarity_matrix, similarity_ecdf, stats, Ecdf, MetricsError, Sample};
 
 /// How the centroid of a sample set is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +61,12 @@ pub fn calculate_criteria(
         });
     }
     let similarity = pairwise_similarity_matrix(samples);
+    // Prebuilt per-sample ECDFs for the distribution-mean comparisons, so
+    // each clustering round only constructs the (changing) mean's ECDF.
+    let ecdfs: Vec<Ecdf> = match method {
+        CentroidMethod::Medoid => Vec::new(),
+        CentroidMethod::DistributionMean => samples.iter().map(Ecdf::new).collect(),
+    };
     let n = samples.len();
     let mut healthy: Vec<usize> = (0..n).collect();
     let mut defects: Vec<usize> = Vec::new();
@@ -83,10 +89,13 @@ pub fn calculate_criteria(
             }
             CentroidMethod::DistributionMean => {
                 let mean = distribution_mean(samples, &healthy)?;
-                let sims = healthy
-                    .iter()
-                    .map(|&i| anubis_metrics::similarity(&mean, &samples[i]))
-                    .collect();
+                let mean_ecdf = Ecdf::new(&mean);
+                // Member comparisons are independent; workers fill slots
+                // in member order, identical to the sequential loop.
+                let ecdfs_ref = &ecdfs;
+                let sims = anubis_parallel::map_items(&healthy, 0, |&i| {
+                    similarity_ecdf(&mean_ecdf, &ecdfs_ref[i])
+                });
                 centroid_sample = Some(mean);
                 sims
             }

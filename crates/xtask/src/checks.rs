@@ -1,4 +1,4 @@
-//! The four workspace invariants.
+//! The five workspace invariants.
 //!
 //! Every check runs over masked source (see [`crate::mask`]) so tokens in
 //! comments and string literals never trip it, and skips `#[cfg(test)]`
@@ -17,6 +17,10 @@
 //!    the exact sentinels `0.0` and `1.0`.
 //! 4. **doc-coverage** — every `src/` module opens with `//!` docs and
 //!    every plain-`pub` item carries a doc comment.
+//! 5. **raw-threading** — `thread::spawn` / `thread::scope` are forbidden
+//!    outside tests: all parallelism goes through the `anubis-parallel`
+//!    executor, whose chunking keeps results bit-identical at any thread
+//!    count (the executor itself is exempted via the allowlist).
 
 use crate::mask::{mask, MaskedSource};
 use crate::spans::{in_test_span, test_spans, TestSpan};
@@ -44,7 +48,7 @@ pub struct Diagnostic {
     /// 1-based line number.
     pub line: usize,
     /// Which check fired (`determinism`, `panic-freedom`, `nan-safety`,
-    /// `doc-coverage`).
+    /// `doc-coverage`, `raw-threading`).
     pub check: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -100,6 +104,7 @@ pub fn check_file(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
     check_determinism(rel_path, &masked, &spans, &mut diags);
+    check_raw_threading(rel_path, &masked, &spans, &mut diags);
     if class.panic_gated {
         check_panic_freedom(rel_path, &masked, &spans, &mut diags);
     }
@@ -196,6 +201,38 @@ fn check_determinism(
                     format!(
                         "nondeterministic construct `{word}`: derive randomness \
                          and time from explicit seeds"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Paths of the raw threading primitives the shared executor wraps.
+const RAW_THREADING_PATHS: &[&str] = &["thread::spawn", "thread::scope"];
+
+fn check_raw_threading(
+    path: &str,
+    source: &MaskedSource,
+    spans: &[TestSpan],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let text = &source.masked;
+    for needle in RAW_THREADING_PATHS {
+        // Word-boundary on `thread` catches both `thread::spawn(..)` and
+        // `std::thread::spawn(..)` while skipping identifiers that merely
+        // end in "thread".
+        for at in word_occurrences(text, needle.as_bytes()) {
+            let line = source.line_of(at);
+            if !in_test_span(spans, line) {
+                push(
+                    diags,
+                    path,
+                    line,
+                    "raw-threading",
+                    format!(
+                        "raw `{needle}`: use the `anubis-parallel` executor so \
+                         results stay bit-identical at any thread count"
                     ),
                 );
             }
@@ -529,6 +566,19 @@ mod tests {
     fn nan_safety_ignores_tuple_fields_and_ints() {
         let src = "//! m\nfn f(p: (f64, u8)) -> bool {\n    p.1 == 3 && p.0 >= 0.5\n}\n";
         assert!(lines_for("nan-safety", &check_file("crates/metrics/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn raw_threading_flags_spawn_and_scope_outside_tests() {
+        let src = "//! m\nfn f() {\n    std::thread::spawn(|| ());\n    thread::scope(|s| ());\n}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        std::thread::spawn(|| ());\n    }\n}\n";
+        let diags = check_file("crates/core/src/x.rs", src);
+        assert_eq!(lines_for("raw-threading", &diags), vec![3, 4]);
+    }
+
+    #[test]
+    fn raw_threading_ignores_other_thread_identifiers() {
+        let src = "//! m\nfn f(hw_thread: u8) -> u8 {\n    let per_thread_scope = hw_thread;\n    per_thread_scope\n}\n";
+        assert!(lines_for("raw-threading", &check_file("crates/core/src/x.rs", src)).is_empty());
     }
 
     #[test]
