@@ -12,7 +12,10 @@ echo "==> cargo clippy (denied warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> invariant lint (anubis-xtask)"
-cargo run -p anubis-xtask --offline -- lint
+cargo run -p anubis-xtask --offline -- lint --error-on-unused-allowlist
+
+echo "==> call-graph analysis (anubis-xtask)"
+cargo run -p anubis-xtask --offline -- analyze --json target/analysis.sarif.json
 
 echo "==> release build"
 cargo build --release --offline

@@ -67,14 +67,17 @@ fn bench_criteria(c: &mut Criterion) {
 fn bench_similarity_matrix(c: &mut Criterion) {
     let samples: Vec<Sample> = (0..64).map(|i| series_sample(i, 256)).collect();
     for threads in [1usize, 8] {
-        c.bench_function(&format!("similarity-matrix/64x256/{threads}threads"), |bencher| {
-            bencher.iter(|| {
-                black_box(pairwise_similarity_matrix_threads(
-                    black_box(&samples),
-                    threads,
-                ))
-            });
-        });
+        c.bench_function(
+            &format!("similarity-matrix/64x256/{threads}threads"),
+            |bencher| {
+                bencher.iter(|| {
+                    black_box(pairwise_similarity_matrix_threads(
+                        black_box(&samples),
+                        threads,
+                    ))
+                });
+            },
+        );
     }
 }
 
@@ -115,7 +118,8 @@ fn bench_coxtime(c: &mut Criterion) {
             baseline_buckets: 32,
             ..Default::default()
         },
-    );
+    )
+    .expect("incident trace contains events");
     // One full training epoch (forward + backward + optimizer) over the
     // trace, exercising the chunk-parallel gradient path end to end.
     for threads in [1usize, 8] {

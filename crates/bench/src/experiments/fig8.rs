@@ -152,7 +152,10 @@ pub fn build_selector(config: &Fig8Config) -> Selector {
         } else {
             samples.clone()
         };
-        Box::new(CoxTimeModel::fit(&capped, &CoxTimeConfig::default()))
+        Box::new(
+            CoxTimeModel::fit(&capped, &CoxTimeConfig::default())
+                .expect("incident trace contains events"),
+        )
     } else {
         Box::new(ExponentialPerCountModel::fit(&samples))
     };

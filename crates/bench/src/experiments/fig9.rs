@@ -159,19 +159,18 @@ pub fn run(config: &Fig9Config) -> Fig9Result {
         // Per-node training runs are independent (each node owns its RNG);
         // chunks return in fleet order, so this matches the sequential
         // loop sample for sample.
-        let samples: Vec<Sample> =
-            anubis_parallel::map_chunks_mut(&mut fleet, 8, 0, |_, chunk| {
-                chunk
-                    .iter_mut()
-                    .map(|(node, _)| {
-                        let series = simulate_training(node, &cfg, &opts);
-                        Sample::new(series[WARMUP_TRIM..].to_vec()).expect("positive throughput")
-                    })
-                    .collect::<Vec<Sample>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let samples: Vec<Sample> = anubis_parallel::map_chunks_mut(&mut fleet, 8, 0, |_, chunk| {
+            chunk
+                .iter_mut()
+                .map(|(node, _)| {
+                    let series = simulate_training(node, &cfg, &opts);
+                    Sample::new(series[WARMUP_TRIM..].to_vec()).expect("positive throughput")
+                })
+                .collect::<Vec<Sample>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         // Proposed: Algorithm 2.
         let proposed_result =

@@ -123,7 +123,8 @@ pub fn run(config: &Table3Config) -> Table3Result {
     let exponential = ExponentialModel::fit(&train);
     let per_count = ExponentialPerCountModel::fit(&train);
     let per_hour = ExponentialPerHourModel::fit(&train);
-    let coxtime = CoxTimeModel::fit(&cox_train, &config.coxtime);
+    let coxtime =
+        CoxTimeModel::fit(&cox_train, &config.coxtime).expect("incident trace contains events");
 
     // The full C-index is O(events²); subsample the test events to keep
     // it cheap while staying statistically stable.

@@ -119,8 +119,10 @@ pub fn run(config: &Table6Config) -> Table6Result {
             // benchmarks in the same per-node order (its RNG stream is
             // untouched), so the samples match the sequential loop exactly.
             let data = run_set_parallel(&[bench], &mut fleet, 0).expect("single-node benchmark");
-            let samples: Vec<(NodeId, Sample)> =
-                data.samples_for(bench).expect("benchmark just ran").to_vec();
+            let samples: Vec<(NodeId, Sample)> = data
+                .samples_for(bench)
+                .expect("benchmark just ran")
+                .to_vec();
             let raw: Vec<Sample> = samples.iter().map(|(_, s)| s.clone()).collect();
             let result = calculate_criteria(&raw, config.alpha, CentroidMethod::Medoid)
                 .expect("non-empty fleet");

@@ -88,7 +88,7 @@ fn expm1(x: f64) -> f64 {
     // rounding error of the reduction, folded back in below.
     let c: f64;
     let k: i32;
-    if hx > 0x3fd6_2E42 {
+    if hx > 0x3FD6_2E42 {
         // |x| > 0.5 ln 2
         let (hi, lo);
         if hx < 0x3FF0_A2B2 {
@@ -208,7 +208,7 @@ fn tanh_lane(x: f64) -> f64 {
     // compares against the smallest magnitude whose high word passes
     // (the low word of the original compare is ignored, so the two
     // predicates agree on every input).
-    const THR_REDUCE: f64 = f64::from_bits(0x3fd6_2E43_0000_0000); // hx > 0x3fd62E42
+    const THR_REDUCE: f64 = f64::from_bits(0x3FD6_2E43_0000_0000); // hx > 0x3fd62E42
     const THR_15LN2: f64 = f64::from_bits(0x3FF0_A2B2_0000_0000); // hx < 0x3FF0A2B2
     let reduce = two_ax >= THR_REDUCE;
     let k1case = two_ax < THR_15LN2;
@@ -263,7 +263,11 @@ fn tanh_lane(x: f64) -> f64 {
     let em1 = sel(
         k == 0,
         r_k0,
-        sel(k == 1, r_k1, sel(k == -1, r_km1, sel(k <= -2, r_neg, r_gen))),
+        sel(
+            k == 1,
+            r_k1,
+            sel(k == -1, r_km1, sel(k <= -2, r_neg, r_gen)),
+        ),
     );
 
     // ---- tanh from expm1, then restore the argument's sign ----
@@ -318,7 +322,11 @@ pub fn tanh(x: f64) -> f64 {
 
     if ix >= 0x7ff0_0000 {
         // tanh(±inf) = ±1, tanh(NaN) = NaN.
-        return if jx >= 0 { 1.0 / x + 1.0 } else { 1.0 / x - 1.0 };
+        return if jx >= 0 {
+            1.0 / x + 1.0
+        } else {
+            1.0 / x - 1.0
+        };
     }
 
     let z = if ix < 0x4036_0000 {

@@ -405,7 +405,11 @@ impl Mlp {
             self.output_dim(),
             "output gradient mismatch"
         );
-        assert_eq!(flat.len(), self.parameter_count(), "gradient shape mismatch");
+        assert_eq!(
+            flat.len(),
+            self.parameter_count(),
+            "gradient shape mismatch"
+        );
         let delta = &mut scratch.delta;
         let next_delta = &mut scratch.next_delta;
         delta.clear();

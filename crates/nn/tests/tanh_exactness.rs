@@ -103,7 +103,11 @@ fn dense_log_uniform_sweep_matches() {
     for _ in 0..2_000_000 {
         let exponent: f64 = rng.random_range(-60.0..6.0);
         let mantissa: f64 = rng.random_range(1.0..2.0);
-        let sign = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+        let sign = if rng.random_range(0..2) == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         assert_matches(sign * mantissa * exponent.exp2());
     }
     // Uniform sweep over the realistic pre-activation range.

@@ -18,7 +18,10 @@ fn time_forward_backward() {
         sink += mlp.forward_scalar_into(&input, &mut cache);
     }
     let fwd = start.elapsed();
-    println!("forward:  {:.2} us/call (sink {sink})", fwd.as_secs_f64() * 1e6 / f64::from(n));
+    println!(
+        "forward:  {:.2} us/call (sink {sink})",
+        fwd.as_secs_f64() * 1e6 / f64::from(n)
+    );
 
     let mut flat = vec![0.0f64; mlp.parameter_count()];
     let mut scratch = BackwardScratch::default();
@@ -28,12 +31,19 @@ fn time_forward_backward() {
         mlp.backward_flat(&cache, &[1.0], &mut flat, &mut scratch);
     }
     let bwd = start.elapsed();
-    println!("backward: {:.2} us/call (flat[0] {})", bwd.as_secs_f64() * 1e6 / f64::from(n), flat[0]);
+    println!(
+        "backward: {:.2} us/call (flat[0] {})",
+        bwd.as_secs_f64() * 1e6 / f64::from(n),
+        flat[0]
+    );
 
     let start = Instant::now();
     let mut t = 0.0f64;
     for i in 0..10_000_000u32 {
         t += (f64::from(i) * 1e-6).tanh();
     }
-    println!("tanh:     {:.1} ns/call (sink {t})", start.elapsed().as_secs_f64() * 1e9 / 1e7);
+    println!(
+        "tanh:     {:.1} ns/call (sink {t})",
+        start.elapsed().as_secs_f64() * 1e9 / 1e7
+    );
 }

@@ -140,7 +140,7 @@ where
     F: Fn(usize, &[T]) -> R + Sync,
 {
     let tasks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
-    execute(tasks, threads, |i, chunk| f(i, chunk))
+    execute(tasks, threads, f)
 }
 
 /// [`map_chunks`] over mutable chunks: each worker owns a disjoint
@@ -153,7 +153,7 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     let tasks: Vec<&mut [T]> = items.chunks_mut(chunk_size.max(1)).collect();
-    execute(tasks, threads, |i, chunk| f(i, chunk))
+    execute(tasks, threads, f)
 }
 
 /// Maps `f` over every item, returning results in item order.
@@ -251,12 +251,17 @@ mod tests {
         // A deliberately ill-conditioned float sum: any re-association
         // across chunk boundaries would change the bits.
         let items: Vec<f64> = (0..1000)
-            .map(|i| if i % 2 == 0 { 1e16 } else { 3.14159 })
+            .map(|i| if i % 2 == 0 { 1e16 } else { 3.33333 })
             .collect();
         let reference = reduce_chunks(&items, 7, 1, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
         for threads in [2, 3, 8, 16] {
-            let parallel =
-                reduce_chunks(&items, 7, threads, |_, c| c.iter().sum::<f64>(), |a, b| a + b);
+            let parallel = reduce_chunks(
+                &items,
+                7,
+                threads,
+                |_, c| c.iter().sum::<f64>(),
+                |a, b| a + b,
+            );
             assert_eq!(reference, parallel);
         }
         assert_eq!(

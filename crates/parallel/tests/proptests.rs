@@ -9,11 +9,7 @@ use proptest::prelude::*;
 /// reassociation of a sum would change the result bitwise.
 fn ill_conditioned() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
-        prop_oneof![
-            -1.0e12f64..1.0e12,
-            -1.0f64..1.0,
-            Just(0.0f64),
-        ],
+        prop_oneof![-1.0e12f64..1.0e12, -1.0f64..1.0, Just(0.0f64),],
         0..96,
     )
 }

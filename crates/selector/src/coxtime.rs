@@ -17,6 +17,7 @@
 
 use crate::status::NodeStatus;
 use crate::survival::{SurvivalModel, SurvivalSample, TBNI_CAP_HOURS};
+use anubis_metrics::MetricsError;
 use anubis_nn::{Activation, Adam, BackwardScratch, ForwardCache, Mlp, StandardScaler};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -87,11 +88,11 @@ pub struct CoxTimeModel {
 impl CoxTimeModel {
     /// Trains on survival samples (events and censored rows).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples` contains no events; the caller (trace pipeline)
-    /// guarantees event data.
-    pub fn fit(samples: &[SurvivalSample], config: &CoxTimeConfig) -> Self {
+    /// Returns [`MetricsError::InsufficientData`] if `samples` contains no
+    /// events — the partial likelihood is undefined without at least one.
+    pub fn fit(samples: &[SurvivalSample], config: &CoxTimeConfig) -> Result<Self, MetricsError> {
         let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
         let scaler = StandardScaler::fit(&features);
         let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
@@ -113,7 +114,12 @@ impl CoxTimeModel {
             rank
         };
         let events: Vec<usize> = (0..samples.len()).filter(|&i| samples[i].event).collect();
-        assert!(!events.is_empty(), "Cox-Time needs at least one event");
+        if events.is_empty() {
+            return Err(MetricsError::InsufficientData {
+                required: 1,
+                actual: 0,
+            });
+        }
 
         let input_dim = 1 + scaler.dim();
         let mut sizes = vec![input_dim];
@@ -235,8 +241,11 @@ impl CoxTimeModel {
                     // merging the calls in order below replays the
                     // sequential accumulation addition-for-addition.
                     let net_ref = &net;
-                    let chunk_grads: Vec<Vec<f64>> =
-                        anubis_parallel::map_chunks(&tasks, EVENTS_PER_CHUNK, threads, |_, chunk| {
+                    let chunk_grads: Vec<Vec<f64>> = anubis_parallel::map_chunks(
+                        &tasks,
+                        EVENTS_PER_CHUNK,
+                        threads,
+                        |_, chunk| {
                             let calls: usize = chunk.iter().map(|(_, c)| 1 + c.len()).sum();
                             let mut flat = vec![0.0f64; calls * p];
                             let mut scratch = BackwardScratch::default();
@@ -279,7 +288,8 @@ impl CoxTimeModel {
                                 }
                             }
                             flat
-                        });
+                        },
+                    );
                     // Merge per-call contributions in global call order; the
                     // parameter axis partitions freely because each
                     // parameter's addition chain is independent of the
@@ -342,8 +352,10 @@ impl CoxTimeModel {
             k = end;
         }
         let net_ref = &net;
-        let baseline: Vec<(f64, f64)> =
-            anubis_parallel::map_items(&specs, threads, |&(t_bucket, t_mid, deaths, start_rank)| {
+        let baseline: Vec<(f64, f64)> = anubis_parallel::map_items(
+            &specs,
+            threads,
+            |&(t_bucket, t_mid, deaths, start_rank)| {
                 let mut cache = net_ref.empty_cache();
                 let mut input: Vec<f64> = Vec::new();
                 let risk_sum: f64 = by_duration[start_rank..]
@@ -359,14 +371,15 @@ impl CoxTimeModel {
                     0.0
                 };
                 (t_bucket, delta)
-            });
+            },
+        );
 
-        Self {
+        Ok(Self {
             net,
             scaler,
             time_scale,
             baseline,
-        }
+        })
     }
 
     /// The risk score `g(t, x)` for a status at time `t`.
@@ -419,7 +432,9 @@ impl<'m> RiskEval<'m> {
         self.input.clear();
         self.input.push(t / self.model.time_scale);
         self.input.extend_from_slice(&self.x);
-        self.model.net.forward_scalar_into(&self.input, &mut self.cache)
+        self.model
+            .net
+            .forward_scalar_into(&self.input, &mut self.cache)
     }
 }
 
@@ -527,7 +542,7 @@ mod tests {
     #[test]
     fn learns_to_separate_populations() {
         let samples = synthetic_samples(400, 1);
-        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let model = CoxTimeModel::fit(&samples, &quick_config()).unwrap();
         let healthy_tbni = model.expected_tbni(&healthy_status());
         let worn_tbni = model.expected_tbni(&worn_status());
         assert!(
@@ -543,7 +558,7 @@ mod tests {
     #[test]
     fn survival_curve_is_a_valid_survival_function() {
         let samples = synthetic_samples(200, 2);
-        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let model = CoxTimeModel::fit(&samples, &quick_config()).unwrap();
         let status = healthy_status();
         assert!((model.survival(&status, 0.0) - 1.0).abs() < 1e-9);
         let mut last = 1.0;
@@ -558,7 +573,7 @@ mod tests {
     #[test]
     fn probability_bounds_and_monotonicity() {
         let samples = synthetic_samples(200, 3);
-        let model = CoxTimeModel::fit(&samples, &quick_config());
+        let model = CoxTimeModel::fit(&samples, &quick_config()).unwrap();
         let status = worn_status();
         let mut last = 0.0;
         for h in [0.0, 6.0, 24.0, 120.0, 1000.0] {
@@ -574,7 +589,7 @@ mod tests {
         use crate::survival::{model_accuracy, ExponentialModel};
         let train = synthetic_samples(400, 4);
         let test = synthetic_samples(120, 5);
-        let cox = CoxTimeModel::fit(&train, &quick_config());
+        let cox = CoxTimeModel::fit(&train, &quick_config()).unwrap();
         let exp = ExponentialModel::fit(&train);
         let acc_cox = model_accuracy(&cox, &test);
         let acc_exp = model_accuracy(&exp, &test);
@@ -585,13 +600,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one event")]
     fn rejects_event_free_training_data() {
         let mut samples = synthetic_samples(10, 6);
         for s in &mut samples {
             s.event = false;
         }
-        CoxTimeModel::fit(&samples, &quick_config());
+        assert!(matches!(
+            CoxTimeModel::fit(&samples, &quick_config()),
+            Err(MetricsError::InsufficientData {
+                required: 1,
+                actual: 0
+            })
+        ));
     }
 
     #[test]
@@ -605,7 +625,7 @@ mod tests {
                 baseline_buckets: 16,
                 ..Default::default()
             };
-            CoxTimeModel::fit(&samples, &config)
+            CoxTimeModel::fit(&samples, &config).unwrap()
         };
         let reference = fit_with(1);
         for threads in [2, 8] {
@@ -627,8 +647,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let samples = synthetic_samples(100, 7);
-        let a = CoxTimeModel::fit(&samples, &quick_config());
-        let b = CoxTimeModel::fit(&samples, &quick_config());
+        let a = CoxTimeModel::fit(&samples, &quick_config()).unwrap();
+        let b = CoxTimeModel::fit(&samples, &quick_config()).unwrap();
         assert_eq!(
             a.expected_tbni(&healthy_status()),
             b.expected_tbni(&healthy_status())

@@ -94,13 +94,17 @@ const SAMPLES_PER_CHUNK: usize = 64;
 /// Per-sample TBNI predictions in sample order. Predictions are mutually
 /// independent, so computing them on workers and aggregating sequentially
 /// is bit-identical to the sequential loop at any thread count.
-fn parallel_predictions(model: &(dyn SurvivalModel + Sync), events: &[&SurvivalSample]) -> Vec<f64> {
-    let per_chunk: Vec<Vec<f64>> = anubis_parallel::map_chunks(events, SAMPLES_PER_CHUNK, 0, |_, chunk| {
-        chunk
-            .iter()
-            .map(|s| model.expected_tbni(&s.status))
-            .collect()
-    });
+fn parallel_predictions(
+    model: &(dyn SurvivalModel + Sync),
+    events: &[&SurvivalSample],
+) -> Vec<f64> {
+    let per_chunk: Vec<Vec<f64>> =
+        anubis_parallel::map_chunks(events, SAMPLES_PER_CHUNK, 0, |_, chunk| {
+            chunk
+                .iter()
+                .map(|s| model.expected_tbni(&s.status))
+                .collect()
+        });
     per_chunk.into_iter().flatten().collect()
 }
 
@@ -178,7 +182,14 @@ impl ExponentialPerCountModel {
     }
 
     fn rate_for(&self, status: &NodeStatus) -> f64 {
-        self.rates[(status.incident_count as usize).min(Self::MAX_BUCKET)]
+        // `fit` always fills MAX_BUCKET + 1 rates, but degrade to the last
+        // bucket rather than panic if that invariant ever breaks.
+        let bucket = (status.incident_count as usize).min(Self::MAX_BUCKET);
+        self.rates
+            .get(bucket)
+            .or_else(|| self.rates.last())
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 

@@ -1,6 +1,8 @@
 //! Criteria calculation (paper Algorithm 2).
 
-use anubis_metrics::{pairwise_similarity_matrix, similarity_ecdf, stats, Ecdf, MetricsError, Sample};
+use anubis_metrics::{
+    pairwise_similarity_matrix, similarity_ecdf, stats, Ecdf, MetricsError, Sample,
+};
 
 /// How the centroid of a sample set is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -26,15 +26,21 @@ impl CriteriaHistory {
     /// Creates a history keeping the most recent `window` samples per
     /// benchmark.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `window` is zero; an empty window cannot learn criteria.
-    pub fn new(window: usize) -> Self {
-        assert!(window > 0, "history window must be positive");
-        Self {
+    /// Returns [`MetricsError::InvalidParameter`] if `window` is zero; an
+    /// empty window cannot learn criteria.
+    pub fn new(window: usize) -> Result<Self, MetricsError> {
+        if window == 0 {
+            return Err(MetricsError::InvalidParameter {
+                name: "window",
+                message: "history window must be positive".to_owned(),
+            });
+        }
+        Ok(Self {
             window,
             samples: BTreeMap::new(),
-        }
+        })
     }
 
     /// Absorbs a validation run's results, evicting the oldest samples
@@ -110,7 +116,7 @@ mod tests {
 
     #[test]
     fn window_evicts_oldest() {
-        let mut history = CriteriaHistory::new(4);
+        let mut history = CriteriaHistory::new(4).unwrap();
         history.absorb(&run_data(BenchmarkId::GpuGemmFp16, &[1.0, 2.0, 3.0]));
         history.absorb(&run_data(BenchmarkId::GpuGemmFp16, &[4.0, 5.0, 6.0]));
         assert_eq!(history.len_of(BenchmarkId::GpuGemmFp16), 4);
@@ -122,7 +128,7 @@ mod tests {
         // Firmware update shifts nominal GEMM from 300 to 270 TFLOPS; the
         // rolling window re-learns, so the slower-but-uniform fleet stays
         // healthy instead of being mass-flagged.
-        let mut history = CriteriaHistory::new(12);
+        let mut history = CriteriaHistory::new(12).unwrap();
         let mut filter = DefectFilter::new();
         let old: Vec<f64> = (0..12).map(|i| 300.0 + f64::from(i) * 0.05).collect();
         history.absorb(&run_data(BenchmarkId::GpuGemmFp16, &old));
@@ -149,7 +155,7 @@ mod tests {
 
     #[test]
     fn thin_history_is_skipped() {
-        let mut history = CriteriaHistory::new(16);
+        let mut history = CriteriaHistory::new(16).unwrap();
         history.absorb(&run_data(BenchmarkId::CpuLatency, &[95.0, 96.0]));
         let mut filter = DefectFilter::new();
         let results = history
@@ -160,8 +166,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be positive")]
     fn zero_window_is_rejected() {
-        CriteriaHistory::new(0);
+        assert!(matches!(
+            CriteriaHistory::new(0),
+            Err(MetricsError::InvalidParameter { name: "window", .. })
+        ));
     }
 }

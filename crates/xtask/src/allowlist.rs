@@ -61,7 +61,13 @@ impl Allowlist {
 
     /// Whether `diagnostic` is exempted by some entry.
     pub fn permits(&self, diagnostic: &Diagnostic) -> bool {
-        self.entries.iter().any(|entry| {
+        self.permit_index(diagnostic).is_some()
+    }
+
+    /// The index of the first entry exempting `diagnostic`, for usage
+    /// tracking.
+    pub fn permit_index(&self, diagnostic: &Diagnostic) -> Option<usize> {
+        self.entries.iter().position(|entry| {
             entry.check == diagnostic.check
                 && entry.path == diagnostic.path
                 && entry
@@ -69,6 +75,26 @@ impl Allowlist {
                     .as_ref()
                     .map_or(true, |pattern| diagnostic.message.contains(pattern))
         })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders entry `index` in the file's own `<check> <path> [substring]`
+    /// format, for stale-entry reports.
+    pub fn describe(&self, index: usize) -> String {
+        let entry = &self.entries[index];
+        match &entry.pattern {
+            Some(pattern) => format!("{} {} {}", entry.check, entry.path, pattern),
+            None => format!("{} {}", entry.check, entry.path),
+        }
     }
 }
 

@@ -23,6 +23,7 @@
 //!    count (the executor itself is exempted via the allowlist).
 
 use crate::mask::{mask, MaskedSource};
+use crate::model::{tokenize, TokenKind};
 use crate::spans::{in_test_span, test_spans, TestSpan};
 use std::fmt;
 
@@ -208,8 +209,8 @@ fn check_determinism(
     }
 }
 
-/// Paths of the raw threading primitives the shared executor wraps.
-const RAW_THREADING_PATHS: &[&str] = &["thread::spawn", "thread::scope"];
+/// Functions of the `thread` module the shared executor wraps.
+const RAW_THREADING_FNS: &[&str] = &["spawn", "scope"];
 
 fn check_raw_threading(
     path: &str,
@@ -217,13 +218,23 @@ fn check_raw_threading(
     spans: &[TestSpan],
     diags: &mut Vec<Diagnostic>,
 ) {
-    let text = &source.masked;
-    for needle in RAW_THREADING_PATHS {
-        // Word-boundary on `thread` catches both `thread::spawn(..)` and
-        // `std::thread::spawn(..)` while skipping identifiers that merely
-        // end in "thread".
-        for at in word_occurrences(text, needle.as_bytes()) {
-            let line = source.line_of(at);
+    // Token-level matching: the `thread` / `::` / `spawn|scope` triplet
+    // catches both `thread::spawn(..)` and `std::thread::spawn(..)` at any
+    // spacing or line wrapping, while identifiers that merely contain
+    // "thread" (e.g. `per_thread_scope`) tokenize as a single ident and
+    // never match.
+    let tokens = tokenize(&source.masked);
+    for window in tokens.windows(3) {
+        let [head, sep, tail] = window else {
+            continue;
+        };
+        if head.kind == TokenKind::Ident
+            && head.text == "thread"
+            && sep.text == "::"
+            && tail.kind == TokenKind::Ident
+            && RAW_THREADING_FNS.contains(&tail.text.as_str())
+        {
+            let line = source.line_of(head.offset);
             if !in_test_span(spans, line) {
                 push(
                     diags,
@@ -231,8 +242,9 @@ fn check_raw_threading(
                     line,
                     "raw-threading",
                     format!(
-                        "raw `{needle}`: use the `anubis-parallel` executor so \
-                         results stay bit-identical at any thread count"
+                        "raw `thread::{}`: use the `anubis-parallel` executor so \
+                         results stay bit-identical at any thread count",
+                        tail.text
                     ),
                 );
             }
@@ -579,6 +591,15 @@ mod tests {
     fn raw_threading_ignores_other_thread_identifiers() {
         let src = "//! m\nfn f(hw_thread: u8) -> u8 {\n    let per_thread_scope = hw_thread;\n    per_thread_scope\n}\n";
         assert!(lines_for("raw-threading", &check_file("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn raw_threading_matches_across_line_wraps() {
+        // rustfmt can wrap a long path after the `::`; token matching still
+        // sees the `thread` `::` `spawn` triplet.
+        let src = "//! m\nfn f() {\n    std::thread::\n        spawn(|| ());\n}\n";
+        let diags = check_file("crates/core/src/x.rs", src);
+        assert_eq!(lines_for("raw-threading", &diags), vec![3]);
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! (`lint-allowlist.txt` at the workspace root, format in [`allowlist`]).
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod checks;
 pub mod mask;
+pub mod model;
+pub mod passes;
+pub mod report;
 pub mod spans;
 pub mod walk;
 
@@ -29,19 +33,41 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+/// The result of a lint run: surviving diagnostics plus which allowlist
+/// entries actually exempted something (for stale-entry detection).
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Diagnostics not covered by the allowlist, sorted by path, line,
+    /// and check.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `used[i]` is `true` when allowlist entry `i` exempted at least one
+    /// diagnostic this run.
+    pub used_entries: Vec<bool>,
+}
+
 /// Lints every workspace `.rs` file under `root`, filtering through
 /// `allowlist`, and returns the surviving diagnostics sorted by path,
 /// line, and check.
 pub fn run_lint(root: &Path, allowlist: &Allowlist) -> io::Result<Vec<Diagnostic>> {
+    run_lint_tracked(root, allowlist).map(|outcome| outcome.diagnostics)
+}
+
+/// [`run_lint`], additionally tracking allowlist entry usage.
+pub fn run_lint_tracked(root: &Path, allowlist: &Allowlist) -> io::Result<LintOutcome> {
     let mut diagnostics = Vec::new();
+    let mut used_entries = vec![false; allowlist.len()];
     for relative in walk::rust_files(root)? {
         let source = fs::read_to_string(root.join(&relative))?;
-        diagnostics.extend(
-            check_file(&relative, &source)
-                .into_iter()
-                .filter(|diagnostic| !allowlist.permits(diagnostic)),
-        );
+        for diagnostic in check_file(&relative, &source) {
+            match allowlist.permit_index(&diagnostic) {
+                Some(index) => used_entries[index] = true,
+                None => diagnostics.push(diagnostic),
+            }
+        }
     }
     diagnostics.sort_by(|a, b| (&a.path, a.line, a.check).cmp(&(&b.path, b.line, b.check)));
-    Ok(diagnostics)
+    Ok(LintOutcome {
+        diagnostics,
+        used_entries,
+    })
 }

@@ -1,25 +1,41 @@
 //! `anubis-xtask` — workspace maintenance commands.
 //!
-//! Currently one subcommand:
+//! Two subcommands:
 //!
 //! ```text
-//! cargo run -p anubis-xtask -- lint [--root <dir>] [--allowlist <file>]
+//! cargo xtask lint    [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]
+//! cargo xtask analyze [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
 //! ```
 //!
-//! which runs the invariant checks of [`anubis_xtask::checks`] over the
-//! workspace and exits `1` when violations remain after applying the
-//! allowlist (default: `lint-allowlist.txt` at the workspace root).
+//! `lint` runs the line-level invariant checks of [`anubis_xtask::checks`]
+//! and exits `1` when violations remain after the allowlist (default:
+//! `lint-allowlist.txt` at the workspace root). With
+//! `--error-on-unused-allowlist` it also exits `1` when an allowlist entry
+//! no longer exempts anything, so stale entries get pruned.
+//!
+//! `analyze` runs the call-graph passes of [`anubis_xtask::passes`]
+//! (A001–A004) and compares the findings against the committed
+//! `analysis-baseline.json`: only *regressions* — new finding keys or
+//! grown counts — fail the build. `--write-baseline` regenerates the
+//! baseline after intentional changes; `--json` writes a SARIF-style
+//! report for CI artifacts.
 
-use anubis_xtask::{run_lint, Allowlist};
+use anubis_xtask::model::Workspace;
+use anubis_xtask::passes::{run_analysis, AnalysisConfig};
+use anubis_xtask::report::{to_sarif, Baseline};
+use anubis_xtask::{run_lint_tracked, Allowlist};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo run -p anubis-xtask -- lint [--root <dir>] [--allowlist <file>]";
+const USAGE: &str = "usage: cargo xtask <lint|analyze>\n  \
+lint    [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]\n  \
+analyze [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -41,16 +57,23 @@ fn default_root() -> PathBuf {
 fn lint(args: &[String]) -> ExitCode {
     let mut root = default_root();
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut error_on_unused = false;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        let value = iter.next();
-        match (flag.as_str(), value) {
-            ("--root", Some(value)) => root = PathBuf::from(value),
-            ("--allowlist", Some(value)) => allowlist_path = Some(PathBuf::from(value)),
-            _ => {
-                eprintln!("unexpected argument `{flag}`\n{USAGE}");
-                return ExitCode::from(2);
+        match flag.as_str() {
+            "--error-on-unused-allowlist" => {
+                error_on_unused = true;
+                continue;
             }
+            "--root" => match iter.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => return usage_error(flag),
+            },
+            "--allowlist" => match iter.next() {
+                Some(value) => allowlist_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            _ => return usage_error(flag),
         }
     }
 
@@ -73,21 +96,162 @@ fn lint(args: &[String]) -> ExitCode {
         }
     };
 
-    match run_lint(&root, &allowlist) {
-        Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("lint: no violations");
-            ExitCode::SUCCESS
-        }
-        Ok(diagnostics) => {
-            for diagnostic in &diagnostics {
-                println!("{diagnostic}");
-            }
-            println!("lint: {} violation(s)", diagnostics.len());
-            ExitCode::FAILURE
-        }
+    let outcome = match run_lint_tracked(&root, &allowlist) {
+        Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("lint failed: {error}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    if outcome.diagnostics.is_empty() {
+        println!("lint: no violations");
+    } else {
+        for diagnostic in &outcome.diagnostics {
+            println!("{diagnostic}");
+        }
+        println!("lint: {} violation(s)", outcome.diagnostics.len());
+        failed = true;
+    }
+
+    let unused: Vec<usize> = outcome
+        .used_entries
+        .iter()
+        .enumerate()
+        .filter(|(_, used)| !**used)
+        .map(|(index, _)| index)
+        .collect();
+    if !unused.is_empty() {
+        for &index in &unused {
+            println!(
+                "{}: stale allowlist entry `{}` no longer exempts anything",
+                allowlist_path.display(),
+                allowlist.describe(index)
+            );
+        }
+        if error_on_unused {
+            println!("lint: {} stale allowlist entr(ies)", unused.len());
+            failed = true;
         }
     }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root = default_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--write-baseline" => {
+                write_baseline = true;
+                continue;
+            }
+            "--root" => match iter.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => return usage_error(flag),
+            },
+            "--baseline" => match iter.next() {
+                Some(value) => baseline_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            "--json" => match iter.next() {
+                Some(value) => json_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            _ => return usage_error(flag),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("analysis-baseline.json"));
+
+    let ws = match Workspace::scan(&root) {
+        Ok(ws) => ws,
+        Err(error) => {
+            eprintln!("analyze failed: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = run_analysis(&ws, &AnalysisConfig::default());
+    let current = Baseline::from_findings(&findings);
+
+    if write_baseline {
+        if let Err(error) = std::fs::write(&baseline_path, current.to_json()) {
+            eprintln!("cannot write {}: {error}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyze: wrote {} ({} key(s), {} finding(s))",
+            baseline_path.display(),
+            current.findings.len(),
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(baseline) => baseline,
+            Err(reason) => {
+                eprintln!("{}: malformed baseline: {reason}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &json_path {
+        if let Err(error) = std::fs::write(json_path, to_sarif(&findings, &baseline)) {
+            eprintln!("cannot write {}: {error}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let regressions = baseline.regressions(&current);
+    let regressed_keys: Vec<&str> = regressions.iter().map(|r| r.key.as_str()).collect();
+    for finding in &findings {
+        if regressed_keys.contains(&finding.key().as_str()) {
+            println!("{finding}");
+        }
+    }
+    for regression in &regressions {
+        println!(
+            "analyze: new finding `{}` ({} now vs {} baselined)",
+            regression.key, regression.current, regression.baselined
+        );
+    }
+    for stale in baseline.stale(&current) {
+        println!(
+            "analyze: stale baseline entry `{}` ({} now vs {} baselined) — \
+             regenerate with --write-baseline",
+            stale.key, stale.current, stale.baselined
+        );
+    }
+    println!(
+        "analyze: {} finding(s), {} baselined key(s), {} new",
+        findings.len(),
+        baseline.findings.len(),
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(flag: &str) -> ExitCode {
+    eprintln!("unexpected or incomplete argument `{flag}`\n{USAGE}");
+    ExitCode::from(2)
 }

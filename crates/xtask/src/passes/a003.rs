@@ -1,0 +1,210 @@
+//! A003 — hot-path allocation.
+//!
+//! PR 2's 5.9× speedup came from hoisting allocations out of the Cox-Time
+//! gradient loop, the CDF similarity matrix, and the MLP forward/backward
+//! kernels. This pass guards that win: starting from a registry of hot
+//! entry points ([`AnalysisConfig::hot_entries`]), it walks the call graph
+//! *forward* and flags every allocating construct in any reachable
+//! function — `Vec::new`/`with_capacity`, `vec!`, `to_vec`, `clone`,
+//! `collect`, `format!`, `Box::new`, `to_owned`, `to_string`.
+//!
+//! The pass cannot tell a one-time setup allocation from a per-iteration
+//! one (no loop structure at the token level); existing deliberate
+//! allocations live in the baseline, and the gate fires only when *new*
+//! ones appear. Each finding's message carries the call path from the hot
+//! entry so reviewers can judge whether the allocation sits on the
+//! measured path.
+
+use super::{path_string, AnalysisConfig, Finding};
+use crate::callgraph::CallGraph;
+use crate::model::{CallKind, TokenKind, Workspace};
+
+/// Method names that allocate.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect", "clone"];
+
+/// Macro names that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// `Type::fn` pairs that allocate.
+const ALLOC_QUALIFIED: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+];
+
+/// Runs the pass: flags allocations in every function reachable from a
+/// hot entry point.
+pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Finding> {
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| {
+            !item.in_test
+                && config.hot_entries.iter().any(|(path_sub, name)| {
+                    item.name == *name && ws.files[item.file].path.contains(path_sub.as_str())
+                })
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reach(&roots);
+
+    let mut findings = Vec::new();
+    for (index, item) in ws.fns.iter().enumerate() {
+        if item.in_test || reach.dist[index] == usize::MAX {
+            continue;
+        }
+        // Path from the nearest hot entry down to this function.
+        let mut entry_path = reach.path_from(index);
+        entry_path.reverse();
+        let via = path_string(ws, &entry_path);
+        let file_path = &ws.files[item.file].path;
+
+        for call in &item.calls {
+            let kind = match call.kind {
+                CallKind::Method if ALLOC_METHODS.contains(&call.name.as_str()) => {
+                    Some(call.name.clone())
+                }
+                CallKind::Macro if ALLOC_MACROS.contains(&call.name.as_str()) => {
+                    Some(format!("{}!", call.name))
+                }
+                CallKind::Qualified => call.qualifier.as_ref().and_then(|q| {
+                    ALLOC_QUALIFIED
+                        .iter()
+                        .find(|(ty, f)| q == ty && call.name == *f)
+                        .map(|(ty, f)| format!("{ty}::{f}"))
+                }),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                findings.push(Finding {
+                    code: "A003",
+                    path: file_path.clone(),
+                    line: call.line,
+                    func: item.qual_name(),
+                    kind: kind.clone(),
+                    message: format!(
+                        "`{kind}` allocates in `{}`, reachable from hot entry via {via}",
+                        item.qual_name()
+                    ),
+                });
+            }
+        }
+        // `Vec::new` etc. appear as qualified calls already; nothing else
+        // to token-scan, but keep `Box` in expressions like `Box::<T>::new`
+        // covered: the model records the qualifier as the segment before
+        // the call name, which `::<T>` turbofish breaks. Catch those by a
+        // direct token scan.
+        let tokens = &ws.files[item.file].tokens;
+        for (i, token) in ws.body_tokens(item) {
+            if token.kind != TokenKind::Ident {
+                continue;
+            }
+            // `.collect::<Vec<_>>()` — turbofish method calls have `::`
+            // after the name, so the model's call extractor (which wants
+            // `(` immediately after) misses them.
+            if ALLOC_METHODS.contains(&token.text.as_str())
+                && i > 0
+                && tokens[i - 1].text == "."
+                && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+            {
+                findings.push(Finding {
+                    code: "A003",
+                    path: file_path.clone(),
+                    line: ws.line_of(item, i),
+                    func: item.qual_name(),
+                    kind: token.text.clone(),
+                    message: format!(
+                        "`{}` allocates in `{}`, reachable from hot entry via {via}",
+                        token.text,
+                        item.qual_name()
+                    ),
+                });
+                continue;
+            }
+            if (token.text == "Vec" || token.text == "Box" || token.text == "String")
+                && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+                && tokens.get(i + 2).is_some_and(|t| t.text == "<")
+            {
+                findings.push(Finding {
+                    code: "A003",
+                    path: file_path.clone(),
+                    line: ws.line_of(item, i),
+                    func: item.qual_name(),
+                    kind: format!("{}::turbofish", token.text),
+                    message: format!(
+                        "turbofish `{}::<..>` constructor in `{}`, reachable from hot entry via {via}",
+                        token.text,
+                        item.qual_name()
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::model::Workspace;
+
+    fn analyze(files: &[(&str, &str)], entries: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::from_sources(files.iter().copied());
+        let graph = CallGraph::build(&ws);
+        let config = AnalysisConfig {
+            gated_crates: Vec::new(),
+            hot_entries: entries
+                .iter()
+                .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
+                .collect(),
+        };
+        run(&ws, &graph, &config)
+    }
+
+    #[test]
+    fn allocation_in_callee_of_hot_entry_is_flagged_with_path() {
+        let findings = analyze(
+            &[(
+                "crates/nn/src/mlp.rs",
+                "pub fn forward_into(x: &[f64]) { helper(x); }\n\
+                 fn helper(x: &[f64]) { let _y = x.to_vec(); }\n",
+            )],
+            &[("nn/src/mlp.rs", "forward_into")],
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "to_vec");
+        assert_eq!(findings[0].func, "helper");
+        assert!(findings[0].message.contains("forward_into -> helper"));
+    }
+
+    #[test]
+    fn allocation_outside_hot_reachability_is_not_flagged() {
+        let findings = analyze(
+            &[(
+                "crates/nn/src/mlp.rs",
+                "pub fn forward_into(x: &[f64]) -> f64 { x[0] }\n\
+                 pub fn cold() { let _v: Vec<f64> = Vec::new(); }\n",
+            )],
+            &[("nn/src/mlp.rs", "forward_into")],
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn vec_new_and_macros_in_entry_itself_are_flagged() {
+        let findings = analyze(
+            &[(
+                "crates/metrics/src/distance.rs",
+                "pub fn integrate_ecdf() { let mut v = Vec::new(); v.push(format!(\"x\")); }\n",
+            )],
+            &[("metrics/src/distance.rs", "integrate_ecdf")],
+        );
+        let kinds: Vec<&str> = findings.iter().map(|f| f.kind.as_str()).collect();
+        assert!(kinds.contains(&"Vec::new"));
+        assert!(kinds.contains(&"format!"));
+    }
+}

@@ -1,0 +1,176 @@
+//! A004 — determinism escapes.
+//!
+//! Paper figures must reproduce bit-for-bit, so results may not depend on
+//! std's randomized hash ordering or on wall-clock time. The PR 1 lint
+//! bans `Instant`/`SystemTime` *textually* in gated crates; this pass is
+//! the graph-aware upgrade:
+//!
+//! - `hash-iteration`: a function that names `HashMap`/`HashSet` *and*
+//!   iterates (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//!   `.into_iter()`, or a `for` loop). Iteration order of std hash
+//!   containers is randomized per process; anything it feeds into output
+//!   is nondeterministic. (BTreeMap/BTreeSet are the sanctioned
+//!   replacements.)
+//! - `time-source`: a function using `Instant`/`SystemTime` anywhere in
+//!   the workspace. When the function is reachable from a public API of a
+//!   gated crate the message carries the call path — a wall-clock read
+//!   inside the validation path taints results even when it lives in a
+//!   helper crate the textual lint never looks at.
+
+use super::{is_gated_public_root, path_string, AnalysisConfig, Finding};
+use crate::callgraph::CallGraph;
+use crate::model::{CallKind, TokenKind, Workspace};
+
+/// Method names that iterate a container.
+const ITERATION_METHODS: &[&str] = &["iter", "keys", "values", "into_iter", "drain", "iter_mut"];
+
+/// Runs the pass.
+pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Finding> {
+    // Forward reachability from every gated public API: used to annotate
+    // time-source findings with the path that makes them result-tainting.
+    let roots: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| is_gated_public_root(ws, i, config))
+        .collect();
+    let reach = graph.reach(&roots);
+
+    let mut findings = Vec::new();
+    for (index, item) in ws.fns.iter().enumerate() {
+        if item.in_test {
+            continue;
+        }
+        let file_path = &ws.files[item.file].path;
+
+        // hash-iteration: the type must be named in this function and some
+        // iteration evidence must exist.
+        let mut hash_line = None;
+        let mut iterates = false;
+        for (i, token) in ws.body_tokens(item) {
+            if token.kind == TokenKind::Ident
+                && (token.text == "HashMap" || token.text == "HashSet")
+            {
+                hash_line.get_or_insert(ws.line_of(item, i));
+            }
+            if token.kind == TokenKind::Ident && token.text == "for" {
+                iterates = true;
+            }
+        }
+        let names_hash = hash_line.is_some()
+            || item
+                .params
+                .iter()
+                .any(|p| p.type_text.contains("HashMap") || p.type_text.contains("HashSet"));
+        iterates = iterates
+            || item.calls.iter().any(|c| {
+                c.kind == CallKind::Method && ITERATION_METHODS.contains(&c.name.as_str())
+            });
+        if names_hash && iterates {
+            findings.push(Finding {
+                code: "A004",
+                path: file_path.clone(),
+                line: hash_line.unwrap_or(item.line),
+                func: item.qual_name(),
+                kind: "hash-iteration".to_owned(),
+                message: format!(
+                    "`{}` iterates a std hash container; iteration order is randomized per process — use BTreeMap/BTreeSet or sort before output",
+                    item.qual_name()
+                ),
+            });
+        }
+
+        // time-source: Instant/SystemTime anywhere, path-annotated when a
+        // gated public API reaches this function.
+        for (i, token) in ws.body_tokens(item) {
+            if token.kind == TokenKind::Ident
+                && (token.text == "Instant" || token.text == "SystemTime")
+            {
+                let mut message = format!(
+                    "`{}` reads the wall clock via `{}`",
+                    item.qual_name(),
+                    token.text
+                );
+                if reach.dist[index] != usize::MAX {
+                    let mut path = reach.path_from(index);
+                    path.reverse();
+                    message.push_str(&format!(
+                        "; reachable from public API via {}",
+                        path_string(ws, &path)
+                    ));
+                }
+                findings.push(Finding {
+                    code: "A004",
+                    path: file_path.clone(),
+                    line: ws.line_of(item, i),
+                    func: item.qual_name(),
+                    kind: "time-source".to_owned(),
+                    message,
+                });
+                break; // One time-source finding per function.
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::model::Workspace;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::from_sources(files.iter().copied());
+        let graph = CallGraph::build(&ws);
+        run(&ws, &graph, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn hash_iteration_flagged() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn dump(m: &HashMap<String, u32>) -> Vec<u32> { m.values().copied().collect() }\n",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "hash-iteration");
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_not_flagged() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn get(m: &HashMap<String, u32>, k: &str) -> Option<u32> { m.get(k).copied() }\n",
+        )]);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn time_source_in_helper_crate_annotated_with_path() {
+        let findings = analyze(&[
+            (
+                "crates/validator/src/lib.rs",
+                "pub fn validate() { anubis_metrics_stamp(); }\n",
+            ),
+            (
+                "crates/metrics/src/lib.rs",
+                "use std::time::Instant;\n\
+                 pub fn anubis_metrics_stamp() { let _t = Instant::now(); }\n",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "time-source");
+        assert!(findings[0]
+            .message
+            .contains("validate -> anubis_metrics_stamp"));
+    }
+
+    #[test]
+    fn unreachable_time_source_still_flagged_without_path() {
+        let findings = analyze(&[(
+            "crates/bench/src/bin/repro.rs",
+            "use std::time::Instant;\nfn stamp() { let _t = Instant::now(); }\n",
+        )]);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].message.contains("reachable from public API"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Graph-aware analysis passes over the workspace model.
+//!
+//! Each pass walks the [`Workspace`](crate::model::Workspace) and the
+//! [`CallGraph`](crate::callgraph::CallGraph) and emits [`Finding`]s with a
+//! stable diagnostic code:
+//!
+//! | Code | Pass | Question answered |
+//! |------|------|-------------------|
+//! | A001 | [`a001`] | Which public fleet-facing APIs can transitively panic? |
+//! | A002 | [`a002`] | Where are floats compared or ordered NaN-unsafely? |
+//! | A003 | [`a003`] | What allocates inside the measured hot paths? |
+//! | A004 | [`a004`] | Where can nondeterminism leak into results? |
+//!
+//! Findings are keyed by *(code, file, function, kind)* — deliberately not
+//! by line — so the committed baseline survives unrelated edits to the
+//! same file. Identical keys are aggregated by count in the baseline.
+
+pub mod a001;
+pub mod a002;
+pub mod a003;
+pub mod a004;
+
+use crate::callgraph::CallGraph;
+use crate::checks::GATED_CRATES;
+use crate::model::Workspace;
+use std::fmt;
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable diagnostic code (`A001`…`A004`).
+    pub code: &'static str,
+    /// Workspace-relative file of the flagged function.
+    pub path: String,
+    /// 1-based line of the flagged construct (not part of the key).
+    pub line: usize,
+    /// Qualified name of the flagged function (`Type::name` or `name`).
+    pub func: String,
+    /// Short machine-readable slug for the finding flavor
+    /// (`panic-reach`, `float-eq`, `clone`, `time-source`, …).
+    pub kind: String,
+    /// Human-readable explanation, including the call path where the pass
+    /// computes one.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline key: code, file, function, and kind — line-free so the
+    /// baseline is stable under refactors that only move code.
+    pub fn key(&self) -> String {
+        format!("{} {} {} {}", self.code, self.path, self.func, self.kind)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}({}): {}",
+            self.path, self.line, self.code, self.kind, self.message
+        )
+    }
+}
+
+/// Tunable inputs of an analysis run. [`AnalysisConfig::default`] matches
+/// the real workspace; fixtures construct custom configs.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Crate directory names whose public APIs are A001/A004 roots.
+    pub gated_crates: Vec<String>,
+    /// Hot entry points for A003 as `(path substring, fn name)` pairs.
+    pub hot_entries: Vec<(String, String)>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        let hot = [
+            // Cox-Time gradient accumulation (chunk closures are owned by
+            // `fit`, so scanning from it covers the chunk bodies too).
+            ("selector/src/coxtime.rs", "fit"),
+            // CDF similarity matrix and its integration kernel.
+            ("metrics/src/distance.rs", "pairwise_similarity_matrix"),
+            (
+                "metrics/src/distance.rs",
+                "pairwise_similarity_matrix_threads",
+            ),
+            ("metrics/src/distance.rs", "upper_triangle_similarities"),
+            ("metrics/src/distance.rs", "integrate_ecdf"),
+            // MLP forward/backward and the optimizer step.
+            ("nn/src/mlp.rs", "forward_into"),
+            ("nn/src/mlp.rs", "forward_scalar_into"),
+            ("nn/src/mlp.rs", "backward_flat"),
+            ("nn/src/adam.rs", "step_flat"),
+            // Deterministic parallel executor: every chunk body runs here.
+            ("parallel/src/lib.rs", "execute"),
+            ("parallel/src/lib.rs", "map_chunks"),
+            ("parallel/src/lib.rs", "map_chunks_mut"),
+            ("parallel/src/lib.rs", "map_items"),
+            ("parallel/src/lib.rs", "map_indexed"),
+            ("parallel/src/lib.rs", "reduce_chunks"),
+        ];
+        Self {
+            gated_crates: GATED_CRATES.iter().map(|c| (*c).to_owned()).collect(),
+            hot_entries: hot
+                .iter()
+                .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
+                .collect(),
+        }
+    }
+}
+
+/// Runs all four passes and returns findings sorted by (code, path, line,
+/// kind, func) — a deterministic order suitable for diffing.
+pub fn run_analysis(ws: &Workspace, config: &AnalysisConfig) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let mut findings = a001::run(ws, &graph, config);
+    findings.extend(a002::run(ws));
+    findings.extend(a003::run(ws, &graph, config));
+    findings.extend(a004::run(ws, &graph, config));
+    findings.sort_by(|a, b| {
+        (a.code, &a.path, a.line, &a.kind, &a.func)
+            .cmp(&(b.code, &b.path, b.line, &b.kind, &b.func))
+    });
+    findings
+}
+
+/// Renders a call path of function indices as `a -> B::b -> c`.
+pub(crate) fn path_string(ws: &Workspace, path: &[usize]) -> String {
+    path.iter()
+        .map(|&i| ws.fns[i].qual_name())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Whether the function at `index` is a public API of a gated crate — a
+/// root for reachability passes.
+pub(crate) fn is_gated_public_root(ws: &Workspace, index: usize, config: &AnalysisConfig) -> bool {
+    let item = &ws.fns[index];
+    item.is_public
+        && !item.in_test
+        && config
+            .gated_crates
+            .iter()
+            .any(|c| *c == ws.files[item.file].crate_name)
+}

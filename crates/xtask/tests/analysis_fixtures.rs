@@ -1,0 +1,80 @@
+//! One fixture mini-crate per diagnostic code: each triggers exactly its
+//! own code, and the clean fixture triggers nothing. The fixtures live
+//! under `tests/fixtures/analysis/<code>/` shaped like a real workspace
+//! (`crates/<name>/src/…`), so crate gating and the hot-entry registry
+//! behave exactly as they do on the real tree.
+
+use anubis_xtask::model::Workspace;
+use anubis_xtask::passes::{run_analysis, AnalysisConfig, Finding};
+use std::path::PathBuf;
+
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analysis")
+        .join(name);
+    let ws = Workspace::scan(&root).expect("scan fixture");
+    run_analysis(&ws, &AnalysisConfig::default())
+}
+
+#[test]
+fn a001_fixture_reports_panic_reachability_with_call_path() {
+    let findings = analyze_fixture("a001");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A001");
+    assert_eq!(f.path, "crates/validator/src/lib.rs");
+    assert_eq!(f.func, "entry");
+    assert!(
+        f.message.contains("entry -> helper"),
+        "call path missing: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("`.unwrap()`"),
+        "panic source missing: {}",
+        f.message
+    );
+}
+
+#[test]
+fn a002_fixture_reports_float_equality() {
+    let findings = analyze_fixture("a002");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A002");
+    assert_eq!(f.path, "crates/metrics/src/lib.rs");
+    assert_eq!(f.func, "converged");
+}
+
+#[test]
+fn a003_fixture_reports_hot_path_allocation_with_call_path() {
+    let findings = analyze_fixture("a003");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A003");
+    assert_eq!(f.path, "crates/selector/src/coxtime.rs");
+    assert_eq!(f.func, "accumulate");
+    assert_eq!(f.kind, "Vec::new");
+    assert!(
+        f.message.contains("fit -> accumulate"),
+        "call path from hot entry missing: {}",
+        f.message
+    );
+}
+
+#[test]
+fn a004_fixture_reports_hash_iteration() {
+    let findings = analyze_fixture("a004");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A004");
+    assert_eq!(f.path, "crates/netsim/src/lib.rs");
+    assert_eq!(f.func, "first_loaded");
+    assert_eq!(f.kind, "hash-iteration");
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let findings = analyze_fixture("clean");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}

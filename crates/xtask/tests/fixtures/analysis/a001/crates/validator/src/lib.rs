@@ -1,0 +1,10 @@
+//! A001 fixture: a gated public API that transitively reaches `.unwrap()`.
+
+/// Public entry point; panics two hops away.
+pub fn entry(input: Option<u32>) -> u32 {
+    helper(input)
+}
+
+fn helper(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,6 @@
+//! A002 fixture: NaN-unsafe float equality on non-sentinel operands.
+
+/// Convergence check that silently fails on NaN.
+pub fn converged(delta: f64, target: f64) -> bool {
+    delta == target
+}

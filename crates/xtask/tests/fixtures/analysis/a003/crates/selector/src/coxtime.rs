@@ -1,0 +1,16 @@
+//! A003 fixture: an allocation reachable from the `fit` hot entry.
+
+/// Hot entry point registered in [`AnalysisConfig::hot_entries`].
+pub fn fit(n: usize) -> usize {
+    accumulate(n)
+}
+
+fn accumulate(n: usize) -> usize {
+    let mut buffer = Vec::new();
+    let mut i = 0;
+    while i < n {
+        buffer.push(i);
+        i += 1;
+    }
+    buffer.len()
+}

@@ -1,0 +1,14 @@
+//! A004 fixture: result depends on `HashMap` iteration order.
+
+use std::collections::HashMap;
+
+/// Folds link loads in whatever order the hasher yields.
+pub fn first_loaded(loads: &HashMap<u32, u64>) -> u32 {
+    let mut found = 0;
+    for (port, load) in loads {
+        if *load > 0 && found == 0 {
+            found = *port;
+        }
+    }
+    found
+}

@@ -1,0 +1,11 @@
+//! Clean fixture: panic-free, float-safe, allocation-free, deterministic.
+
+/// Saturating accumulator with no analysis findings.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}
+
+/// Total-ordering comparison done the approved way.
+pub fn ordered(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_lt()
+}

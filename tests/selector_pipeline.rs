@@ -36,7 +36,8 @@ fn coxtime_fitted_on_trace_ranks_worn_nodes_riskier() {
             baseline_buckets: 48,
             ..Default::default()
         },
-    );
+    )
+    .expect("incident trace contains events");
     let mut fresh = NodeStatus::fresh();
     fresh.advance(500.0);
     let p_fresh = model.incident_probability(&fresh, 48.0);
