@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Full CI gate for the workspace. Every step must pass; the same sequence
-# runs in .github/workflows/ci.yml.
+# runs in .github/workflows/ci.yml (split across jobs there).
 set -eu
 
 cd "$(dirname "$0")"
@@ -16,6 +16,14 @@ cargo run -p anubis-xtask --offline -- lint --error-on-unused-allowlist
 
 echo "==> call-graph analysis (anubis-xtask)"
 cargo run -p anubis-xtask --offline -- analyze --json target/analysis.sarif.json
+
+echo "==> perf-regression gate (quick smoke benches vs BENCH_2.json)"
+rm -f target/bench-current.jsonl
+ANUBIS_BENCH_QUICK=1 ANUBIS_BENCH_JSON="$(pwd)/target/bench-current.jsonl" \
+    cargo bench -p anubis-bench --offline -- \
+    cdf_distance one_sided_distance criteria/algorithm2 selection/algorithm1 \
+    coxtime/expected_tbni coxtime/incident_probability scan/full json/serialize
+cargo run -p anubis-xtask --offline -- perfgate
 
 echo "==> release build"
 cargo build --release --offline

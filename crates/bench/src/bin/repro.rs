@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick] [--json]
+//! repro <experiment> [--quick] [--json] [--trace[=PATH]] [--out[=PATH]]
 //! repro all [--quick] [--json]
 //! repro list
 //! ```
@@ -11,13 +11,21 @@
 //! Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig8 fig9 table1 table3
 //! table4 table5 table6 appendixA. (`table4` is produced together with
 //! `fig8` — both come from the same simulation.)
+//!
+//! `--trace` records a deterministic `anubis-obs` virtual-time trace of
+//! the run (default `target/trace.jsonl`; summarize with `cargo xtask
+//! profile <path>`). `--out` additionally writes the rendered output to a
+//! file (default `target/repro_output.txt`). Both accept `--flag=PATH` or
+//! `--flag PATH` (with the experiment named first); output files default
+//! under `target/` to keep the repo root clean.
 
 use anubis_bench::experiments::{
     appendix_a, fig1, fig2, fig3, fig4, fig5, fig6, fig8, fig9, table1, table3, table5, table6,
     EXPERIMENT_IDS,
 };
 use anubis_metrics::json::to_json;
-use std::time::Instant;
+use anubis_obs::wall::Stopwatch;
+use std::path::PathBuf;
 
 /// Output format of one experiment run.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -149,21 +157,117 @@ fn run_one(id: &str, quick: bool, centroid_mean: bool, format: Format) -> Result
     Ok(output)
 }
 
+/// Parsed command line.
+struct Cli {
+    quick: bool,
+    centroid_mean: bool,
+    format: Format,
+    target: Option<String>,
+    trace: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+/// Parses `--flag`, `--flag=PATH`, and `--flag PATH` (the space form only
+/// consumes the next token once the experiment has been named, so
+/// `repro --trace table3` still treats `table3` as the experiment).
+fn optional_path(
+    rest: &str,
+    args: &[String],
+    i: &mut usize,
+    target_seen: bool,
+    default: &str,
+) -> Option<PathBuf> {
+    if let Some(explicit) = rest.strip_prefix('=') {
+        return Some(PathBuf::from(explicit));
+    }
+    if !rest.is_empty() {
+        return None; // e.g. `--tracey`: not this flag.
+    }
+    if target_seen {
+        if let Some(next) = args.get(*i + 1).filter(|a| !a.starts_with("--")) {
+            *i += 1;
+            return Some(PathBuf::from(next));
+        }
+    }
+    Some(PathBuf::from(default))
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        centroid_mean: false,
+        format: Format::Text,
+        target: None,
+        trace: None,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => cli.quick = true,
+            "--centroid-mean" => cli.centroid_mean = true,
+            "--json" => cli.format = Format::Json,
+            _ if arg.starts_with("--trace") => {
+                match optional_path(
+                    &arg["--trace".len()..],
+                    args,
+                    &mut i,
+                    cli.target.is_some(),
+                    "target/trace.jsonl",
+                ) {
+                    Some(path) => cli.trace = Some(path),
+                    None => return Err(format!("unknown flag `{arg}`")),
+                }
+            }
+            _ if arg.starts_with("--out") => {
+                match optional_path(
+                    &arg["--out".len()..],
+                    args,
+                    &mut i,
+                    cli.target.is_some(),
+                    "target/repro_output.txt",
+                ) {
+                    Some(path) => cli.out = Some(path),
+                    None => return Err(format!("unknown flag `{arg}`")),
+                }
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag `{arg}`")),
+            _ if cli.target.is_none() => cli.target = Some(arg.to_owned()),
+            _ => return Err(format!("unexpected argument `{arg}`")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+fn write_file(path: &PathBuf, contents: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn usage_exit(message: Option<&str>) -> ! {
+    if let Some(message) = message {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: repro <experiment|all|list> [--quick] [--centroid-mean] [--json] [--trace[=PATH]] [--out[=PATH]]"
+    );
+    eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let centroid_mean = args.iter().any(|a| a == "--centroid-mean");
-    let format = if args.iter().any(|a| a == "--json") {
-        Format::Json
-    } else {
-        Format::Text
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => usage_exit(Some(&message)),
     };
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
-
-    let Some(target) = target else {
-        eprintln!("usage: repro <experiment|all|list> [--quick] [--centroid-mean] [--json]");
-        eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
-        std::process::exit(2);
+    let Some(target) = cli.target.clone() else {
+        usage_exit(None);
     };
 
     if target == "list" {
@@ -171,6 +275,10 @@ fn main() {
             println!("{id}");
         }
         return;
+    }
+
+    if cli.trace.is_some() {
+        anubis_obs::enable();
     }
 
     // `table4` is rendered as part of fig8; avoid running the simulation
@@ -185,15 +293,30 @@ fn main() {
         vec![target.as_str()]
     };
 
+    let mut collected = String::new();
     for id in ids {
-        let started = Instant::now();
-        match run_one(id, quick, centroid_mean, format) {
+        let started = Stopwatch::start();
+        // Span names must be `'static`: map the requested id back onto the
+        // experiment table (unknown ids fail inside `run_one` anyway).
+        let span_name = EXPERIMENT_IDS
+            .iter()
+            .copied()
+            .find(|e| e.eq_ignore_ascii_case(id))
+            .unwrap_or("experiment");
+        let result = {
+            let _span = anubis_obs::span!(span_name);
+            run_one(id, cli.quick, cli.centroid_mean, cli.format)
+        };
+        match result {
             Ok(output) => {
-                if format == Format::Json {
-                    println!("{output}");
+                let rendered = if cli.format == Format::Json {
+                    format!("{output}\n")
                 } else {
-                    println!("=== {id} ({:.1}s) ===", started.elapsed().as_secs_f64());
-                    println!("{output}");
+                    format!("=== {id} ({:.1}s) ===\n{output}\n", started.elapsed_secs())
+                };
+                print!("{rendered}");
+                if cli.out.is_some() {
+                    collected.push_str(&rendered);
                 }
             }
             Err(message) => {
@@ -202,5 +325,29 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = &cli.out {
+        if let Err(message) = write_file(path, &collected) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        eprintln!("output written to {}", path.display());
+    }
+    if let Some(path) = &cli.trace {
+        let trace = anubis_obs::drain();
+        anubis_obs::disable();
+        let jsonl = trace.to_jsonl();
+        if let Err(message) = write_file(path, &jsonl) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace written to {} ({} records, {} dropped; summarize with `cargo xtask profile {}`)",
+            path.display(),
+            trace.records.len(),
+            trace.dropped,
+            path.display()
+        );
     }
 }

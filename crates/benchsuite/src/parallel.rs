@@ -36,6 +36,13 @@ pub fn run_set_parallel(
     if let Some(&bad) = set.iter().find(|b| b.spec().phase != Phase::SingleNode) {
         return Err(SuiteError::PhaseMismatch(bad));
     }
+    // Orchestration-level span only: the per-node work below runs through
+    // the executor, where recording is suppressed at any thread count.
+    let _span = anubis_obs::span!("runner.run_set_parallel");
+    anubis_obs::counter!(
+        "runner.parallel_node_runs",
+        (nodes.len() * set.len()) as i64
+    );
     // Each worker owns a disjoint node chunk; per-chunk results come back
     // in chunk order, so assembly below is in fleet order without sorting.
     type ChunkResult = Result<Vec<Vec<(BenchmarkId, anubis_metrics::Sample)>>, SuiteError>;

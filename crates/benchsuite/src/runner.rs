@@ -343,10 +343,12 @@ pub fn run_set(
     let mut data = RunData::default();
     // Phase 1: single-node benchmarks.
     for &bench in set.iter().filter(|b| b.spec().phase == Phase::SingleNode) {
+        let _span = anubis_obs::span!(bench.spec().name);
         let mut rows = Vec::with_capacity(nodes.len());
         for node in nodes.iter_mut() {
             rows.push((node.id(), run_benchmark(bench, node)?));
         }
+        anubis_obs::counter!("runner.node_runs", rows.len() as i64);
         data.results.insert(bench, rows);
     }
     // Phase 2: multi-node benchmarks.
@@ -362,6 +364,7 @@ pub fn run_set(
         };
         if nodes.len() >= 2 {
             for bench in multi {
+                let _span = anubis_obs::span!(bench.spec().name);
                 let samples = run_benchmark_multi(bench, nodes, members, fabric)?;
                 let rows = nodes
                     .iter()

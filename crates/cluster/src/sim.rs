@@ -200,6 +200,8 @@ pub fn simulate(
     trace: &[AllocationRequest],
     policy: &Policy<'_>,
 ) -> SimOutcome {
+    anubis_obs::set_time(0.0);
+    let _span = anubis_obs::span!("cluster.simulate");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mix = SourceMix::azure_like();
     let n = config.nodes as usize;
@@ -313,6 +315,7 @@ pub fn simulate(
                     node.repair += config.swap_hours;
                     node.status.record_incident(mix.sample(rng));
                     any_swap = true;
+                    anubis_obs::event!("sim.proactive_catch");
                 }
                 // Defect trajectory over validation + job exposure. The
                 // benchmarks stress the hardware too, so onset clocks run
@@ -399,6 +402,7 @@ pub fn simulate(
             break;
         }
         let now = event.time;
+        anubis_obs::set_time(now);
         match event.kind {
             EventKind::Arrival(i) => {
                 let request = &trace[i];
@@ -436,6 +440,7 @@ pub fn simulate(
                 }
                 if let Some((incident_idx, _)) = job.incident {
                     jobs_interrupted += 1;
+                    anubis_obs::event!("sim.job_interrupted");
                     let incident_node = job.nodes[incident_idx];
                     {
                         let node = &mut nodes[incident_node as usize];
@@ -524,6 +529,11 @@ pub fn simulate(
     let total_busy: f64 = nodes.iter().map(|x| x.busy).sum();
     let mtbi_hours = total_busy / f64::from(total_incidents.max(1));
     let daily_utilization: Vec<f64> = daily_busy.iter().map(|b| b / (n_f * 24.0)).collect();
+
+    anubis_obs::set_time(config.horizon_hours);
+    anubis_obs::counter!("sim.jobs_completed", jobs_completed as i64);
+    anubis_obs::counter!("sim.jobs_interrupted", jobs_interrupted as i64);
+    anubis_obs::counter!("sim.incidents", i64::from(total_incidents));
 
     SimOutcome {
         policy: policy.kind(),

@@ -94,12 +94,15 @@ impl FleetDriver {
     /// swaps every caught defect against the hot buffer (repaired nodes
     /// return to it at the end of the step).
     pub fn step(&mut self, hours: f64) -> Result<StepReport, SuiteError> {
+        anubis_obs::set_time(self.clock_hours);
+        let _span = anubis_obs::span!("driver.step");
         let mut onsets = 0usize;
         for node in &mut self.nodes {
             onsets += self.wear.advance(node, hours, &mut self.rng).len();
         }
         self.system.advance_hours(hours);
         self.clock_hours += hours;
+        anubis_obs::set_time(self.clock_hours);
 
         let outcome = self.system.handle_event(
             &ValidationEvent::RegularCheck {
@@ -130,6 +133,9 @@ impl FleetDriver {
             }
         }
         self.repair.repair_cycle();
+        anubis_obs::counter!("driver.onsets", onsets as i64);
+        anubis_obs::counter!("driver.caught", caught as i64);
+        anubis_obs::counter!("driver.unswapped", unswapped as i64);
 
         Ok(StepReport {
             hours,

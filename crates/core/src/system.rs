@@ -100,6 +100,12 @@ impl Anubis {
         for node in nodes.iter() {
             self.statuses.entry(node.id()).or_default();
         }
+        let _span = anubis_obs::span!(match event {
+            ValidationEvent::NodesAdded => "event.nodes_added",
+            ValidationEvent::JobAllocation { .. } => "event.job_allocation",
+            ValidationEvent::RegularCheck { .. } => "event.regular_check",
+            ValidationEvent::IncidentReported { .. } => "event.incident_reported",
+        });
         match event {
             ValidationEvent::NodesAdded => {
                 // Quality gate: full set, criteria learned from this run.
@@ -196,6 +202,7 @@ impl Anubis {
     /// Feeds found defects into the Selector's coverage history (the
     /// evolution loop of Figure 7).
     fn record_defects(&mut self, flagged: &BTreeMap<NodeId, Vec<BenchmarkId>>) {
+        anubis_obs::counter!("system.defective_nodes", flagged.len() as i64);
         let Some(selector) = &mut self.selector else {
             return;
         };

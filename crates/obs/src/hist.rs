@@ -1,0 +1,101 @@
+//! Fixed-bucket histograms.
+//!
+//! Bucket edges are a `&'static [f64]` chosen at the instrumentation
+//! site, so recording never allocates and two runs always agree on the
+//! bucket layout. With `n` edges there are `n + 1` buckets: bucket `i`
+//! counts values `v <= edges[i]` (first match wins), and the final bucket
+//! is the overflow for values above every edge. Non-finite values land in
+//! the overflow bucket, deterministically.
+
+/// A fixed-bucket histogram (see the module docs for bucket semantics).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: &'static [f64],
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given ascending bucket edges.
+    pub fn new(edges: &'static [f64]) -> Self {
+        Self {
+            edges,
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        let mut idx = self.edges.len();
+        for (i, &edge) in self.edges.iter().enumerate() {
+            if value <= edge {
+                idx = i;
+                break;
+            }
+        }
+        if let Some(count) = self.counts.get_mut(idx) {
+            *count += 1;
+        }
+        self.total += 1;
+    }
+
+    /// The bucket edges this histogram was created with.
+    pub fn edges(&self) -> &'static [f64] {
+        self.edges
+    }
+
+    /// Per-bucket counts; `counts().len() == edges().len() + 1`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGES: &[f64] = &[1.0, 5.0, 15.0];
+
+    #[test]
+    fn values_land_in_the_first_matching_bucket() {
+        let mut h = Histogram::new(EDGES);
+        for v in [0.0, 1.0, 1.5, 5.0, 14.9, 15.0, 15.1, 1e9] {
+            h.record(v);
+        }
+        // <=1: {0.0, 1.0}; <=5: {1.5, 5.0}; <=15: {14.9, 15.0}; over: rest.
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn edge_values_are_inclusive() {
+        let mut h = Histogram::new(EDGES);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(15.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn non_finite_values_overflow() {
+        let mut h = Histogram::new(EDGES);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY); // <= every edge: first bucket
+        assert_eq!(h.counts(), &[1, 0, 0, 2]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn empty_edges_mean_a_single_bucket() {
+        let mut h = Histogram::new(&[]);
+        h.record(42.0);
+        assert_eq!(h.counts(), &[1]);
+    }
+}

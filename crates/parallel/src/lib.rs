@@ -19,7 +19,11 @@
 //!
 //! Under this contract `threads = 1`, `threads = 8`, and
 //! `ANUBIS_THREADS=3` all produce bit-identical results; the property
-//! tests in `tests/proptests.rs` pin that down.
+//! tests in `tests/proptests.rs` pin that down. The same invariance
+//! extends to `anubis-obs` traces: work dispatched through the executor
+//! never records (worker threads have no recorder enabled, and the inline
+//! single-worker path holds an `anubis_obs::suppress` guard), so a trace's
+//! bytes are independent of the thread count too.
 //!
 //! # Examples
 //!
@@ -86,6 +90,12 @@ where
 {
     let workers = resolve_threads(threads).min(tasks.len());
     if workers <= 1 {
+        // The inline path must look exactly like worker execution to the
+        // observability layer: `anubis-obs` recording is thread-local and
+        // only ever enabled on the coordinating thread, so worker threads
+        // never record — suppressing here keeps trace content independent
+        // of the resolved worker count.
+        let _quiet = anubis_obs::suppress();
         return tasks
             .into_iter()
             .enumerate()

@@ -93,6 +93,9 @@ impl CoxTimeModel {
     /// Returns [`MetricsError::InsufficientData`] if `samples` contains no
     /// events — the partial likelihood is undefined without at least one.
     pub fn fit(samples: &[SurvivalSample], config: &CoxTimeConfig) -> Result<Self, MetricsError> {
+        let _span = anubis_obs::span!("coxtime.fit");
+        anubis_obs::counter!("coxtime.fit_samples", samples.len() as i64);
+        anubis_obs::counter!("coxtime.fit_epochs", config.epochs as i64);
         let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
         let scaler = StandardScaler::fit(&features);
         let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);

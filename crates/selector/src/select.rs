@@ -45,6 +45,7 @@ pub fn select_benchmarks(
     candidates: &[BenchmarkId],
     p0: f64,
 ) -> Vec<BenchmarkId> {
+    let _span = anubis_obs::span!("selector.select_benchmarks");
     let mut subset: Vec<BenchmarkId> = Vec::new();
     let mut p = residual_probability(model, statuses, horizon, coverage, &subset);
     while p > p0 && subset.len() < candidates.len() {
@@ -71,6 +72,7 @@ pub fn select_benchmarks(
         subset.push(choice);
         p = residual_probability(model, statuses, horizon, coverage, &subset);
     }
+    anubis_obs::counter!("selector.benchmarks_selected", subset.len() as i64);
     subset
 }
 

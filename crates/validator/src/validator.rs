@@ -10,6 +10,10 @@ use anubis_metrics::MetricsError;
 use anubis_netsim::FatTree;
 use std::collections::BTreeMap;
 
+/// Bucket edges (minutes) for the validation-duration histogram: spot
+/// check, Selector subset, typical full set, build-out, worst case.
+const DURATION_BUCKETS: &[f64] = &[1.0, 5.0, 15.0, 60.0, 240.0];
+
 /// Validator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ValidatorConfig {
@@ -105,8 +109,10 @@ impl Validator {
         &mut self,
         data: &RunData,
     ) -> Result<BTreeMap<BenchmarkId, CriteriaResult>, MetricsError> {
+        let _span = anubis_obs::span!("validator.learn_criteria");
         let mut results = BTreeMap::new();
         for (&bench, rows) in &data.results {
+            let _bench_span = anubis_obs::span!(bench.spec().name);
             let samples: Vec<_> = rows.iter().map(|(_, s)| s.clone()).collect();
             let result = calculate_criteria(&samples, self.config.alpha, self.config.centroid)?;
             self.filter.set_criteria(
@@ -119,6 +125,7 @@ impl Validator {
             );
             results.insert(bench, result);
         }
+        anubis_obs::counter!("validator.criteria_learned", results.len() as i64);
         Ok(results)
     }
 
@@ -148,13 +155,20 @@ impl Validator {
                 members: members.len(),
             });
         }
+        let _span = anubis_obs::span!("validator.validate");
         let mut report = ValidationReport {
             duration_minutes: BenchmarkId::total_runtime_minutes(set),
             ..Default::default()
         };
+        anubis_obs::hist!(
+            "validator.duration_minutes",
+            report.duration_minutes,
+            DURATION_BUCKETS
+        );
 
         // Phase 1: single-node benchmarks on every node.
         for &bench in set.iter().filter(|b| b.spec().phase == Phase::SingleNode) {
+            let _bench_span = anubis_obs::span!(bench.spec().name);
             let mut rows = Vec::with_capacity(nodes.len());
             for node in nodes.iter_mut() {
                 rows.push((node.id(), run_benchmark(bench, node)?));
@@ -185,6 +199,7 @@ impl Validator {
                 let healthy_members: Vec<usize> = healthy_idx.iter().map(|&i| members[i]).collect();
                 let mut phase2 = RunData::default();
                 for bench in multi {
+                    let _bench_span = anubis_obs::span!(bench.spec().name);
                     let samples =
                         run_benchmark_multi(bench, &mut healthy_nodes, &healthy_members, fabric)?;
                     let rows = healthy_nodes

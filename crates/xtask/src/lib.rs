@@ -19,9 +19,12 @@
 pub mod allowlist;
 pub mod callgraph;
 pub mod checks;
+pub mod json;
 pub mod mask;
 pub mod model;
 pub mod passes;
+pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod spans;
 pub mod walk;

@@ -1,10 +1,13 @@
 //! `anubis-xtask` — workspace maintenance commands.
 //!
-//! Two subcommands:
+//! Four subcommands:
 //!
 //! ```text
-//! cargo xtask lint    [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]
-//! cargo xtask analyze [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
+//! cargo xtask lint     [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]
+//! cargo xtask analyze  [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
+//! cargo xtask profile  [<trace.jsonl>] [--top <n>]
+//! cargo xtask perfgate [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>]
+//!                      [--print-baseline]
 //! ```
 //!
 //! `lint` runs the line-level invariant checks of [`anubis_xtask::checks`]
@@ -19,23 +22,40 @@
 //! grown counts — fail the build. `--write-baseline` regenerates the
 //! baseline after intentional changes; `--json` writes a SARIF-style
 //! report for CI artifacts.
+//!
+//! `profile` summarizes an `anubis-obs` trace (the repro binary's
+//! `--trace` output, default `target/trace.jsonl`): top-k hot spans by
+//! exclusive virtual time, a per-crate rollup, counter totals and
+//! histograms.
+//!
+//! `perfgate` compares this run's bench medians
+//! (`target/bench-current.jsonl`, written by the vendored Criterion
+//! harness under `ANUBIS_BENCH_JSON`) against the `"kernels"` baseline in
+//! `BENCH_2.json`, writes `target/BENCH_CURRENT.json` for CI artifacts,
+//! and exits `1` when a tracked kernel regressed beyond the tolerance.
 
 use anubis_xtask::model::Workspace;
 use anubis_xtask::passes::{run_analysis, AnalysisConfig};
+use anubis_xtask::perf;
+use anubis_xtask::profile::Profile;
 use anubis_xtask::report::{to_sarif, Baseline};
 use anubis_xtask::{run_lint_tracked, Allowlist};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint|analyze>\n  \
-lint    [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]\n  \
-analyze [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]";
+const USAGE: &str = "usage: cargo xtask <lint|analyze|profile|perfgate>\n  \
+lint     [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]\n  \
+analyze  [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]\n  \
+profile  [<trace.jsonl>] [--top <n>]\n  \
+perfgate [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>] [--print-baseline]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("profile") => profile(&args[1..]),
+        Some("perfgate") => perfgate(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -248,6 +268,150 @@ fn analyze(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn profile(args: &[String]) -> ExitCode {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut top_k = 15usize;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--top" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => top_k = value,
+                _ => return usage_error(flag),
+            },
+            other if !other.starts_with("--") && trace_path.is_none() => {
+                trace_path = Some(PathBuf::from(other));
+            }
+            _ => return usage_error(flag),
+        }
+    }
+    let trace_path =
+        trace_path.unwrap_or_else(|| default_root().join("target").join("trace.jsonl"));
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "cannot read {}: {error}\n(generate one with `cargo run --release -p anubis-bench \
+                 --bin repro -- <experiment> --trace`)",
+                trace_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match Profile::from_jsonl(&text) {
+        Ok(profile) => {
+            println!("profile of {}", trace_path.display());
+            print!("{}", profile.render(top_k));
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("{}: {error}", trace_path.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn perfgate(args: &[String]) -> ExitCode {
+    let mut root = default_root();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut current_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut print_baseline = false;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--print-baseline" => {
+                print_baseline = true;
+                continue;
+            }
+            "--root" => match iter.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => return usage_error(flag),
+            },
+            "--baseline" => match iter.next() {
+                Some(value) => baseline_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            "--current" => match iter.next() {
+                Some(value) => current_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            "--out" => match iter.next() {
+                Some(value) => out_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            _ => return usage_error(flag),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("BENCH_2.json"));
+    let current_path =
+        current_path.unwrap_or_else(|| root.join("target").join("bench-current.jsonl"));
+    let out_path = out_path.unwrap_or_else(|| root.join("target").join("BENCH_CURRENT.json"));
+
+    let current_text = match std::fs::read_to_string(&current_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "cannot read {}: {error}\n(run the smoke benches first: \
+                 ANUBIS_BENCH_QUICK=1 ANUBIS_BENCH_JSON={} cargo bench -p anubis-bench)",
+                current_path.display(),
+                current_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let current = match perf::parse_current(&current_text) {
+        Ok(current) => current,
+        Err(error) => {
+            eprintln!("{}: {error}", current_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if print_baseline {
+        print!("{}", perf::baseline_snippet(&current));
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read {}: {error}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match perf::parse_baseline(&baseline_text) {
+        Ok(baseline) => baseline,
+        Err(error) => {
+            eprintln!("{}: {error}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = match perf::tolerance_from_env() {
+        Ok(tolerance) => tolerance,
+        Err(error) => {
+            eprintln!("perfgate: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = perf::compare(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(error) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {}: {error}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!("perfgate: wrote {}", out_path.display());
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -161,6 +161,7 @@ mod tests {
                 .iter()
                 .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
                 .collect(),
+            timing_facades: Vec::new(),
         };
         run(&ws, &graph, &config)
     }

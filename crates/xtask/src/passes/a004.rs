@@ -15,7 +15,11 @@
 //!   the workspace. When the function is reachable from a public API of a
 //!   gated crate the message carries the call path — a wall-clock read
 //!   inside the validation path taints results even when it lives in a
-//!   helper crate the textual lint never looks at.
+//!   helper crate the textual lint never looks at. Crates listed in
+//!   [`AnalysisConfig::timing_facades`] (the `anubis-obs` observability
+//!   facade) are exempt: they exist to confine wall-clock access behind a
+//!   feature gate, and flagging them would force an allowlist entry for
+//!   the one sanctioned call site.
 
 use super::{is_gated_public_root, path_string, AnalysisConfig, Finding};
 use crate::callgraph::CallGraph;
@@ -77,8 +81,16 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
             });
         }
 
-        // time-source: Instant/SystemTime anywhere, path-annotated when a
-        // gated public API reaches this function.
+        // time-source: Instant/SystemTime anywhere outside the sanctioned
+        // timing facade, path-annotated when a gated public API reaches
+        // this function.
+        let in_facade = config
+            .timing_facades
+            .iter()
+            .any(|c| *c == ws.files[item.file].crate_name);
+        if in_facade {
+            continue;
+        }
         for (i, token) in ws.body_tokens(item) {
             if token.kind == TokenKind::Ident
                 && (token.text == "Instant" || token.text == "SystemTime")
@@ -172,5 +184,24 @@ mod tests {
         )]);
         assert_eq!(findings.len(), 1);
         assert!(!findings[0].message.contains("reachable from public API"));
+    }
+
+    #[test]
+    fn timing_facade_crate_is_exempt() {
+        let findings = analyze(&[
+            (
+                "crates/obs/src/wall.rs",
+                "use std::time::Instant;\n\
+                 pub fn elapsed() { let _t = Instant::now(); }\n",
+            ),
+            (
+                "crates/metrics/src/lib.rs",
+                "use std::time::Instant;\n\
+                 pub fn stamp() { let _t = Instant::now(); }\n",
+            ),
+        ]);
+        // Only the non-facade crate is flagged.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "crates/metrics/src/lib.rs");
     }
 }

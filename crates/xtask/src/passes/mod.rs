@@ -70,6 +70,11 @@ pub struct AnalysisConfig {
     pub gated_crates: Vec<String>,
     /// Hot entry points for A003 as `(path substring, fn name)` pairs.
     pub hot_entries: Vec<(String, String)>,
+    /// Crate directory names sanctioned to read the wall clock — the
+    /// observability facade (`anubis-obs`, which confines `Instant` to a
+    /// feature-gated module). A004's time-source scan skips these; every
+    /// other crate must go through the facade.
+    pub timing_facades: Vec<String>,
 }
 
 impl Default for AnalysisConfig {
@@ -105,6 +110,7 @@ impl Default for AnalysisConfig {
                 .iter()
                 .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
                 .collect(),
+            timing_facades: vec!["obs".to_owned()],
         }
     }
 }

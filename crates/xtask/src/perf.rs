@@ -1,0 +1,329 @@
+//! `cargo xtask perfgate` — the CI perf-regression gate.
+//!
+//! CI runs the quick Criterion smoke benches with `ANUBIS_BENCH_JSON`
+//! pointed at `target/bench-current.jsonl`; the vendored harness appends
+//! one `{"name":...,"median_ns":...}` line per benchmark. This module
+//! compares those medians against the committed baseline — the
+//! `"kernels"` object in `BENCH_2.json` at the workspace root — and fails
+//! when any tracked kernel's median grew by more than the tolerance
+//! (default 25%, overridable via `ANUBIS_BENCH_TOLERANCE`).
+//!
+//! A tracked kernel that produced no measurement also fails the gate: a
+//! silently-skipped bench must not read as "no regression". Kernels that
+//! were measured but are not in the baseline are reported informationally
+//! so new benches can be promoted into the baseline deliberately
+//! (`--print-baseline` emits the ready-to-commit `"kernels"` object).
+//!
+//! The full comparison is written to `target/BENCH_CURRENT.json` for CI
+//! artifact upload.
+
+use crate::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default allowed growth of a kernel's median before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One tracked kernel's baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark name as printed by the harness.
+    pub name: String,
+    /// Committed baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// This run's median, nanoseconds.
+    pub current_ns: f64,
+    /// `current / baseline`; `> 1 + tolerance` is a regression.
+    pub ratio: f64,
+    /// Whether this kernel fails the gate.
+    pub regressed: bool,
+}
+
+/// The outcome of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Tolerance the comparisons were judged against.
+    pub tolerance: f64,
+    /// Tracked kernels that produced a measurement, baseline order.
+    pub compared: Vec<Comparison>,
+    /// Tracked kernels with no measurement this run — a gate failure.
+    pub missing: Vec<String>,
+    /// Measured kernels absent from the baseline — informational.
+    pub untracked: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.compared.iter().any(|c| c.regressed)
+    }
+
+    /// Human-readable gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.compared {
+            let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "perfgate: {:<36} baseline {:>12.0} ns  current {:>12.0} ns  x{:.3}  {}",
+                c.name, c.baseline_ns, c.current_ns, c.ratio, verdict
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(
+                out,
+                "perfgate: {name:<36} tracked in baseline but not measured — FAIL"
+            );
+        }
+        for name in &self.untracked {
+            let _ = writeln!(
+                out,
+                "perfgate: {name:<36} measured but not baselined (informational)"
+            );
+        }
+        let regressions = self.compared.iter().filter(|c| c.regressed).count();
+        let _ = writeln!(
+            out,
+            "perfgate: {} kernel(s) compared, {} regression(s), {} missing, tolerance {:.0}%",
+            self.compared.len(),
+            regressions,
+            self.missing.len(),
+            self.tolerance * 100.0
+        );
+        out
+    }
+
+    /// The `BENCH_CURRENT.json` artifact body.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tolerance\": {},", self.tolerance);
+        let _ = writeln!(
+            out,
+            "  \"status\": \"{}\",",
+            if self.failed() { "fail" } else { "pass" }
+        );
+        out.push_str("  \"kernels\": {\n");
+        for (i, c) in self.compared.iter().enumerate() {
+            let comma = if i + 1 == self.compared.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{ \"baseline_ns\": {:.0}, \"current_ns\": {:.0}, \"ratio\": {:.4}, \"regressed\": {} }}{comma}",
+                escape(&c.name),
+                c.baseline_ns,
+                c.current_ns,
+                c.ratio,
+                c.regressed
+            );
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"missing\": [");
+        out.push_str(
+            &self
+                .missing
+                .iter()
+                .map(|n| format!("\"{}\"", escape(n)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("],\n");
+        out.push_str("  \"untracked\": [");
+        out.push_str(
+            &self
+                .untracked
+                .iter()
+                .map(|n| format!("\"{}\"", escape(n)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a benchmark name for embedding in a JSON string literal.
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Reads the committed baseline: the `"kernels"` object of `BENCH_2.json`
+/// mapping benchmark name to median nanoseconds.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let doc = parse(text)?;
+    let kernels = doc
+        .get("kernels")
+        .ok_or("baseline has no \"kernels\" object")?;
+    let obj = kernels
+        .as_obj()
+        .ok_or("baseline \"kernels\" is not an object")?;
+    let mut out = BTreeMap::new();
+    for (name, value) in obj {
+        let ns = value
+            .as_num()
+            .ok_or_else(|| format!("kernel `{name}`: median is not a number"))?;
+        out.insert(name.clone(), ns);
+    }
+    Ok(out)
+}
+
+/// Reads this run's measurements: JSONL lines of
+/// `{"name": ..., "median_ns": ...}`. Re-runs append, so the last line
+/// for a name wins.
+pub fn parse_current(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        let name = value
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing \"name\"", index + 1))?;
+        let ns = value
+            .get("median_ns")
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("line {}: missing \"median_ns\"", index + 1))?;
+        out.insert(name.to_owned(), ns);
+    }
+    Ok(out)
+}
+
+/// Judges `current` against `baseline` at `tolerance`.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport {
+        tolerance,
+        ..GateReport::default()
+    };
+    for (name, &baseline_ns) in baseline {
+        match current.get(name) {
+            Some(&current_ns) => {
+                // A zero baseline would make every measurement an infinite
+                // regression; treat it as untracked instead.
+                if baseline_ns <= 0.0 {
+                    report.untracked.push(name.clone());
+                    continue;
+                }
+                let ratio = current_ns / baseline_ns;
+                report.compared.push(Comparison {
+                    name: name.clone(),
+                    baseline_ns,
+                    current_ns,
+                    ratio,
+                    regressed: ratio > 1.0 + tolerance,
+                });
+            }
+            None => report.missing.push(name.clone()),
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            report.untracked.push(name.clone());
+        }
+    }
+    report
+}
+
+/// Renders this run's measurements as a ready-to-commit `"kernels"`
+/// object for baseline refreshes.
+pub fn baseline_snippet(current: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("  \"kernels\": {\n");
+    for (i, (name, ns)) in current.iter().enumerate() {
+        let comma = if i + 1 == current.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {:.0}{comma}", escape(name), ns);
+    }
+    out.push_str("  }\n");
+    out
+}
+
+/// The gate tolerance: `ANUBIS_BENCH_TOLERANCE` when set and valid, else
+/// [`DEFAULT_TOLERANCE`].
+pub fn tolerance_from_env() -> Result<f64, String> {
+    match std::env::var("ANUBIS_BENCH_TOLERANCE") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("ANUBIS_BENCH_TOLERANCE=`{raw}` is not a non-negative number")),
+        Err(_) => Ok(DEFAULT_TOLERANCE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(n, v)| ((*n).to_owned(), *v)).collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let report = compare(
+            &map(&[("cdf", 1000.0), ("scan", 2000.0)]),
+            &map(&[("cdf", 1200.0), ("scan", 1500.0)]),
+            0.25,
+        );
+        assert!(!report.failed(), "{}", report.render());
+        assert_eq!(report.compared.len(), 2);
+        assert!(report.to_json().contains("\"status\": \"pass\""));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let report = compare(&map(&[("cdf", 1000.0)]), &map(&[("cdf", 1251.0)]), 0.25);
+        assert!(report.failed());
+        assert!(report.compared.first().expect("compared").regressed);
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.to_json().contains("\"status\": \"fail\""));
+    }
+
+    #[test]
+    fn missing_tracked_kernel_fails_untracked_is_informational() {
+        let report = compare(&map(&[("cdf", 1000.0)]), &map(&[("brand-new", 10.0)]), 0.25);
+        assert!(report.failed());
+        assert_eq!(report.missing, vec!["cdf".to_owned()]);
+        assert_eq!(report.untracked, vec!["brand-new".to_owned()]);
+
+        let ok = compare(
+            &map(&[("cdf", 1000.0)]),
+            &map(&[("cdf", 900.0), ("brand-new", 10.0)]),
+            0.25,
+        );
+        assert!(!ok.failed(), "untracked alone must not fail the gate");
+    }
+
+    #[test]
+    fn parses_baseline_and_current_formats() {
+        let baseline =
+            parse_baseline("{\"issue\": 5, \"kernels\": {\"cdf\": 1200, \"scan/full\": 3e4}}")
+                .expect("valid baseline");
+        assert_eq!(baseline.get("scan/full"), Some(&30000.0));
+
+        let current = parse_current(
+            "{\"name\":\"cdf\",\"median_ns\":100}\n\n{\"name\":\"cdf\",\"median_ns\":140}\n",
+        )
+        .expect("valid current");
+        assert_eq!(current.get("cdf"), Some(&140.0), "last line wins");
+
+        assert!(parse_baseline("{\"issue\": 5}").is_err());
+        assert!(parse_current("{\"median_ns\":1}\n").is_err());
+    }
+
+    #[test]
+    fn baseline_snippet_round_trips_through_parse_baseline() {
+        let current = map(&[("a/b", 123.6), ("c", 4.0)]);
+        let snippet = format!("{{\n{}}}\n", baseline_snippet(&current));
+        let parsed = parse_baseline(&snippet).expect("snippet parses");
+        assert_eq!(parsed.get("a/b"), Some(&124.0));
+        assert_eq!(parsed.get("c"), Some(&4.0));
+    }
+}

@@ -1,0 +1,392 @@
+//! `cargo xtask profile` — summarizes an `anubis-obs` JSONL trace.
+//!
+//! The repro binary's `--trace` flag emits one JSON object per line: a
+//! header, then `enter`/`exit`/`point` records ordered by sequence number,
+//! then counter and histogram totals (schema v1, written by
+//! `anubis_obs::trace::Trace::to_jsonl`). This module replays the span
+//! stack to attribute **exclusive** virtual time — a span's own time minus
+//! the time spent in child spans — and renders:
+//!
+//! - the top-k hot spans by exclusive virtual time,
+//! - a per-crate rollup (crate = the `target` prefix before `::`),
+//! - counter totals and histogram bucket tables.
+//!
+//! Virtual time is whatever clock the instrumented code fed to
+//! `anubis_obs::set_time` — simulation hours for the cluster pipeline —
+//! so the summary describes *simulated* cost, reproducible bit-for-bit,
+//! not wall time.
+//!
+//! The replay is tolerant of unbalanced traces (a ring buffer that
+//! wrapped drops oldest records first): exits without a matching enter
+//! are counted but not timed, and spans still open at end-of-trace are
+//! closed at the last observed virtual time.
+
+use crate::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one `(target, name)` span key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed (or force-closed) activations.
+    pub count: u64,
+    /// Total virtual time including children.
+    pub total_vt: f64,
+    /// Virtual time excluding children.
+    pub exclusive_vt: f64,
+}
+
+/// One histogram snapshot: bucket edges, per-bucket counts (with the
+/// trailing overflow bucket), and total sample count.
+pub type HistSnapshot = (Vec<f64>, Vec<u64>, u64);
+
+/// Everything extracted from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Records promised by the header line, if present.
+    pub header_records: u64,
+    /// Records the recorder overwrote before the drain.
+    pub dropped: u64,
+    /// Per-`(target, name)` span statistics.
+    pub spans: BTreeMap<(String, String), SpanStat>,
+    /// `point` event counts per `(target, name)`.
+    pub points: BTreeMap<(String, String), u64>,
+    /// Counter totals per `(target, counter)`.
+    pub counters: BTreeMap<(String, String), f64>,
+    /// Histograms per `(target, hist)`.
+    pub hists: BTreeMap<(String, String), HistSnapshot>,
+    /// Exit records that had no matching enter (ring-buffer truncation).
+    pub unmatched_exits: u64,
+    /// Spans force-closed at end-of-trace.
+    pub force_closed: u64,
+}
+
+/// One open activation on the replay stack.
+struct Open {
+    key: (String, String),
+    enter_vt: f64,
+    child_vt: f64,
+}
+
+impl Profile {
+    /// Parses a full JSONL trace. Blank lines are skipped; a malformed
+    /// line aborts with its 1-based line number.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut profile = Profile::default();
+        let mut stack: Vec<Open> = Vec::new();
+        let mut last_vt = 0.0_f64;
+
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = parse(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+            if let Some(schema) = value.get("schema").and_then(JsonValue::as_num) {
+                if schema != 1.0 {
+                    return Err(format!("line {}: unsupported schema {schema}", index + 1));
+                }
+                profile.header_records = value
+                    .get("records")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0) as u64;
+                profile.dropped = value
+                    .get("dropped")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0) as u64;
+            } else if value.get("ev").is_some() {
+                profile.apply_record(&value, &mut stack, &mut last_vt);
+            } else if value.get("counter").is_some() {
+                let key = key_of(&value, "counter");
+                let total = value
+                    .get("total")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0);
+                *profile.counters.entry(key).or_insert(0.0) += total;
+            } else if value.get("hist").is_some() {
+                let key = key_of(&value, "hist");
+                let edges = num_array(value.get("edges"));
+                let counts: Vec<u64> = num_array(value.get("counts"))
+                    .iter()
+                    .map(|&c| c as u64)
+                    .collect();
+                let total = value
+                    .get("total")
+                    .and_then(JsonValue::as_num)
+                    .unwrap_or(0.0) as u64;
+                profile.hists.insert(key, (edges, counts, total));
+            } else {
+                return Err(format!("line {}: unrecognized trace line", index + 1));
+            }
+        }
+
+        // Close anything still open (truncated trace) at the last vt seen.
+        while let Some(open) = stack.pop() {
+            profile.force_closed += 1;
+            profile.close(open, last_vt, &mut stack);
+        }
+        Ok(profile)
+    }
+
+    /// Applies one `enter`/`exit`/`point` record to the replay stack.
+    fn apply_record(&mut self, value: &JsonValue, stack: &mut Vec<Open>, last_vt: &mut f64) {
+        let vt = value.get("vt").and_then(JsonValue::as_num).unwrap_or(0.0);
+        *last_vt = vt;
+        let key = key_of(value, "name");
+        match value.get("ev").and_then(JsonValue::as_str) {
+            Some("enter") => stack.push(Open {
+                key,
+                enter_vt: vt,
+                child_vt: 0.0,
+            }),
+            Some("exit") => {
+                // Exits are well-nested when matched; pop until the key
+                // matches so one lost enter doesn't desync the rest.
+                if let Some(depth) = stack.iter().rposition(|open| open.key == key) {
+                    while stack.len() > depth + 1 {
+                        if let Some(orphan) = stack.pop() {
+                            self.force_closed += 1;
+                            self.close(orphan, vt, stack);
+                        }
+                    }
+                    if let Some(open) = stack.pop() {
+                        self.close(open, vt, stack);
+                    }
+                } else {
+                    self.unmatched_exits += 1;
+                }
+            }
+            _ => {
+                *self.points.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Folds a finished activation into the aggregates and charges its
+    /// total time to the parent's child accumulator.
+    fn close(&mut self, open: Open, exit_vt: f64, stack: &mut [Open]) {
+        let total = (exit_vt - open.enter_vt).max(0.0);
+        let exclusive = (total - open.child_vt).max(0.0);
+        let stat = self.spans.entry(open.key).or_default();
+        stat.count += 1;
+        stat.total_vt += total;
+        stat.exclusive_vt += exclusive;
+        if let Some(parent) = stack.last_mut() {
+            parent.child_vt += total;
+        }
+    }
+
+    /// Exclusive virtual time and span count rolled up by crate — the
+    /// `target` prefix before the first `::` (bin targets have no `::`).
+    pub fn by_crate(&self) -> BTreeMap<String, SpanStat> {
+        let mut out: BTreeMap<String, SpanStat> = BTreeMap::new();
+        for ((target, _), stat) in &self.spans {
+            let crate_name = target.split("::").next().unwrap_or(target).to_owned();
+            let entry = out.entry(crate_name).or_default();
+            entry.count += stat.count;
+            entry.total_vt += stat.total_vt;
+            entry.exclusive_vt += stat.exclusive_vt;
+        }
+        out
+    }
+
+    /// Renders the human-readable report; `top_k` bounds the hot-span
+    /// table.
+    pub fn render(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        let total_excl: f64 = self.spans.values().map(|s| s.exclusive_vt).sum();
+        let _ = writeln!(
+            out,
+            "trace: {} span key(s), {} counter(s), {} histogram(s), {} dropped record(s)",
+            self.spans.len(),
+            self.counters.len(),
+            self.hists.len(),
+            self.dropped
+        );
+        if self.unmatched_exits > 0 || self.force_closed > 0 {
+            let _ = writeln!(
+                out,
+                "note: unbalanced trace ({} unmatched exit(s), {} force-closed span(s)) — \
+                 timings below are best-effort",
+                self.unmatched_exits, self.force_closed
+            );
+        }
+
+        let mut hot: Vec<(&(String, String), &SpanStat)> = self.spans.iter().collect();
+        hot.sort_by(|a, b| {
+            b.1.exclusive_vt
+                .total_cmp(&a.1.exclusive_vt)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let shown = hot.len().min(top_k);
+        let _ = writeln!(out, "\nhot spans (top {shown} by exclusive virtual time):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<28} {:>8} {:>14} {:>14} {:>6}",
+            "span", "target", "count", "excl vt", "total vt", "excl%"
+        );
+        for (key, stat) in hot.iter().take(top_k) {
+            let share = if total_excl > 0.0 {
+                100.0 * stat.exclusive_vt / total_excl
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<28} {:>8} {:>14.3} {:>14.3} {:>5.1}%",
+                key.1, key.0, stat.count, stat.exclusive_vt, stat.total_vt, share
+            );
+        }
+
+        let _ = writeln!(out, "\nper-crate rollup (exclusive virtual time):");
+        let mut crates: Vec<(String, SpanStat)> = self.by_crate().into_iter().collect();
+        crates.sort_by(|a, b| {
+            b.1.exclusive_vt
+                .total_cmp(&a.1.exclusive_vt)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>14} {:>6}",
+            "crate", "spans", "excl vt", "share"
+        );
+        for (name, stat) in &crates {
+            let share = if total_excl > 0.0 {
+                100.0 * stat.exclusive_vt / total_excl
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>14.3} {:>5.1}%",
+                name, stat.count, stat.exclusive_vt, share
+            );
+        }
+
+        if !self.points.is_empty() {
+            let _ = writeln!(out, "\npoint events:");
+            for ((target, name), count) in &self.points {
+                let _ = writeln!(out, "  {name:<28} {target:<28} {count:>8}");
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounter totals:");
+            for ((target, name), total) in &self.counters {
+                let _ = writeln!(out, "  {name:<28} {target:<28} {total:>14}");
+            }
+        }
+
+        for ((target, name), (edges, counts, total)) in &self.hists {
+            let _ = writeln!(out, "\nhistogram {name} ({target}, {total} sample(s)):");
+            for (i, count) in counts.iter().enumerate() {
+                let label = match edges.get(i) {
+                    Some(edge) => format!("<= {edge}"),
+                    None => "overflow".to_owned(),
+                };
+                let _ = writeln!(out, "  {label:<14} {count:>10}");
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the `(target, <name_key>)` pair of a trace line, defaulting
+/// missing fields to `"?"` so partial lines still aggregate somewhere
+/// visible.
+fn key_of(value: &JsonValue, name_key: &str) -> (String, String) {
+    let target = value
+        .get("target")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    let name = value
+        .get(name_key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    (target, name)
+}
+
+/// Reads a JSON array of numbers; anything else yields an empty vec.
+fn num_array(value: Option<&JsonValue>) -> Vec<f64> {
+    match value {
+        Some(JsonValue::Arr(items)) => items.iter().filter_map(JsonValue::as_num).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat<'p>(profile: &'p Profile, target: &str, name: &str) -> &'p SpanStat {
+        profile
+            .spans
+            .get(&(target.to_owned(), name.to_owned()))
+            .expect("span present")
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let trace = "\
+{\"schema\":1,\"records\":6,\"dropped\":0,\"counters\":0,\"hists\":0}
+{\"seq\":0,\"vt\":0,\"ev\":\"enter\",\"target\":\"a\",\"name\":\"outer\"}
+{\"seq\":1,\"vt\":2,\"ev\":\"enter\",\"target\":\"a::b\",\"name\":\"inner\"}
+{\"seq\":2,\"vt\":5,\"ev\":\"exit\",\"target\":\"a::b\",\"name\":\"inner\"}
+{\"seq\":3,\"vt\":10,\"ev\":\"exit\",\"target\":\"a\",\"name\":\"outer\"}
+";
+        let profile = Profile::from_jsonl(trace).expect("valid trace");
+        let outer = stat(&profile, "a", "outer");
+        assert_eq!(outer.count, 1);
+        assert!((outer.total_vt - 10.0).abs() < 1e-12);
+        assert!((outer.exclusive_vt - 7.0).abs() < 1e-12);
+        let inner = stat(&profile, "a::b", "inner");
+        assert!((inner.exclusive_vt - 3.0).abs() < 1e-12);
+
+        let crates = profile.by_crate();
+        assert!((crates.get("a").expect("crate a").exclusive_vt - 10.0).abs() < 1e-12);
+        assert_eq!(crates.len(), 1);
+    }
+
+    #[test]
+    fn tolerates_truncated_and_unmatched_records() {
+        // Ring-buffer truncation: an exit whose enter was overwritten,
+        // and an enter never exited.
+        let trace = "\
+{\"seq\":0,\"vt\":1,\"ev\":\"exit\",\"target\":\"a\",\"name\":\"lost\"}
+{\"seq\":1,\"vt\":2,\"ev\":\"enter\",\"target\":\"a\",\"name\":\"open\"}
+{\"seq\":2,\"vt\":9,\"ev\":\"point\",\"target\":\"a\",\"name\":\"tick\"}
+";
+        let profile = Profile::from_jsonl(trace).expect("valid trace");
+        assert_eq!(profile.unmatched_exits, 1);
+        assert_eq!(profile.force_closed, 1);
+        let open = stat(&profile, "a", "open");
+        assert!((open.total_vt - 7.0).abs() < 1e-12, "closed at last vt");
+        assert_eq!(profile.points.len(), 1);
+        assert!(profile.render(10).contains("unbalanced trace"));
+    }
+
+    #[test]
+    fn counters_and_hists_surface_in_render() {
+        let trace = "\
+{\"schema\":1,\"records\":0,\"dropped\":3,\"counters\":1,\"hists\":1}
+{\"counter\":\"sim.jobs\",\"target\":\"anubis_cluster::sim\",\"total\":42}
+{\"hist\":\"validator.duration\",\"target\":\"anubis_validator\",\"edges\":[1,5],\"counts\":[2,0,1],\"total\":3}
+";
+        let profile = Profile::from_jsonl(trace).expect("valid trace");
+        assert_eq!(profile.dropped, 3);
+        let report = profile.render(5);
+        assert!(report.contains("sim.jobs"));
+        assert!(report.contains("42"));
+        assert!(report.contains("<= 5"));
+        assert!(report.contains("overflow"));
+    }
+
+    #[test]
+    fn rejects_garbage_lines_with_location() {
+        let err = Profile::from_jsonl("{\"schema\":1}\nnot json\n").expect_err("must fail");
+        assert!(err.starts_with("line 2:"), "error was: {err}");
+        let err = Profile::from_jsonl("{\"mystery\":true}\n").expect_err("must fail");
+        assert!(err.contains("unrecognized"));
+    }
+}

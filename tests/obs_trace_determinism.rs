@@ -1,0 +1,73 @@
+//! Byte-determinism of `anubis-obs` traces: an instrumented scenario must
+//! serialize to the exact same JSONL bytes on repeated runs and at any
+//! worker-thread count. The whole check lives in a single `#[test]` (its
+//! own binary) so the `ANUBIS_THREADS` mutations can never race another
+//! test.
+//!
+//! The thread-count half pins the executor contract: recording is only
+//! enabled on the coordinating thread and `anubis_parallel::execute`
+//! suppresses it on the inline single-worker path, so work dispatched
+//! through the executor is invisible to the trace no matter where it ran.
+
+use anubis_benchsuite::{run_set_parallel, BenchmarkId};
+use anubis_cluster::{simulate, ClusterSimConfig, Policy};
+use anubis_hwsim::{NodeId, NodeSim, NodeSpec};
+use anubis_traces::{generate_allocation_trace, AllocationConfig};
+
+/// Runs an instrumented scenario — a serial cluster simulation plus a
+/// benchmark fan-out through the deterministic executor (worker count from
+/// `ANUBIS_THREADS`) — and returns the drained trace's JSONL bytes.
+fn traced_scenario() -> String {
+    anubis_obs::enable_with_capacity(1 << 16);
+
+    let config = ClusterSimConfig {
+        nodes: 32,
+        horizon_hours: 240.0,
+        ..Default::default()
+    };
+    let jobs = generate_allocation_trace(&AllocationConfig {
+        duration_hours: 240.0,
+        ..AllocationConfig::stressed(32)
+    });
+    let outcome = simulate(&config, &jobs, &Policy::FullSet);
+    assert!(outcome.jobs_completed > 0);
+
+    let mut nodes: Vec<NodeSim> = (0..8)
+        .map(|i| NodeSim::new(NodeId(i), NodeSpec::a100_8x(), 33))
+        .collect();
+    let set = [BenchmarkId::GpuGemmFp16, BenchmarkId::CpuLatency];
+    run_set_parallel(&set, &mut nodes, 0).expect("benchmark fan-out");
+
+    let trace = anubis_obs::drain();
+    anubis_obs::disable();
+    trace.to_jsonl()
+}
+
+#[test]
+fn traces_are_byte_identical_across_runs_and_thread_counts() {
+    std::env::set_var("ANUBIS_THREADS", "1");
+    let first = traced_scenario();
+    let second = traced_scenario();
+    std::env::set_var("ANUBIS_THREADS", "4");
+    let four_workers = traced_scenario();
+    std::env::remove_var("ANUBIS_THREADS");
+
+    assert_eq!(
+        first, second,
+        "repeated runs must produce identical trace bytes"
+    );
+    assert_eq!(
+        first, four_workers,
+        "ANUBIS_THREADS=1 and =4 must produce identical trace bytes"
+    );
+
+    // Sanity: the trace is substantial and carries the expected spans.
+    assert!(first.lines().count() > 10, "trace too small:\n{first}");
+    assert!(first.contains("\"name\":\"cluster.simulate\""));
+    assert!(first.contains("\"name\":\"runner.run_set_parallel\""));
+    assert!(first.contains("\"counter\":\"sim.jobs_completed\""));
+    assert!(
+        !first.contains("\"name\":\"GPU GEMM FP16\""),
+        "per-node benchmark spans must be suppressed under the executor"
+    );
+}

@@ -7,14 +7,33 @@
 //! per-iteration median instead of criterion's full statistical analysis.
 //! Wall-clock use here is fine: benches are reporting tools, not
 //! simulation logic, and this crate sits outside the workspace lint walk.
+//!
+//! CI hooks (all opt-in, default behaviour unchanged):
+//!
+//! - non-flag command-line arguments are substring filters, like real
+//!   criterion: `cargo bench -p anubis-bench -- cdf scan` runs only
+//!   benchmarks whose name contains `cdf` or `scan`;
+//! - `ANUBIS_BENCH_QUICK=1` collects fewer, shorter samples — smoke-test
+//!   resolution for the perf-regression gate, not publication numbers;
+//! - `ANUBIS_BENCH_JSON=<path>` appends one
+//!   `{"name":"...","median_ns":N}` line per benchmark, consumed by
+//!   `cargo xtask perfgate`.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Number of timed samples collected per benchmark.
 const SAMPLES: usize = 11;
 
+/// Number of timed samples in `ANUBIS_BENCH_QUICK` mode.
+const QUICK_SAMPLES: usize = 5;
+
 /// Target wall-clock budget for one sample batch.
 const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// Sample batch budget in `ANUBIS_BENCH_QUICK` mode.
+const QUICK_SAMPLE_BUDGET: Duration = Duration::from_millis(5);
 
 /// How a batched benchmark's setup output is grouped. Only the variants
 /// the workspace uses are provided; the distinction does not change
@@ -30,24 +49,80 @@ pub enum BatchSize {
 }
 
 /// The benchmark driver handed to `criterion_group!` functions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// Substring filters from the command line; empty = run everything.
+    filters: Vec<String>,
+    /// Where to append JSONL medians (`ANUBIS_BENCH_JSON`), if anywhere.
+    json_path: Option<PathBuf>,
+    /// Smoke-test resolution (`ANUBIS_BENCH_QUICK`).
+    quick: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the CI hooks: name filters from `std::env::args` (flags like
+    /// the `--bench` cargo passes to `harness = false` binaries are
+    /// ignored) and the `ANUBIS_BENCH_JSON`/`ANUBIS_BENCH_QUICK`
+    /// environment variables.
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|arg| !arg.starts_with('-'))
+            .collect();
+        let json_path = std::env::var_os("ANUBIS_BENCH_JSON")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let quick =
+            std::env::var_os("ANUBIS_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+        Self {
+            filters,
+            json_path,
+            quick,
+        }
+    }
 }
 
 impl Criterion {
-    /// Runs `routine` against a fresh [`Bencher`] and prints a one-line
-    /// median per-iteration time.
+    /// Runs `routine` against a fresh [`Bencher`] (unless filtered out)
+    /// and prints a one-line median per-iteration time.
     pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.filters.is_empty() && !self.filters.iter().any(|f| name.contains(f.as_str())) {
+            return self;
+        }
         let mut bencher = Bencher {
             samples: Vec::with_capacity(SAMPLES),
+            quick: self.quick,
         };
         routine(&mut bencher);
-        bencher.report(name);
+        let median = bencher.report(name);
+        if let (Some(path), Some(median)) = (&self.json_path, median) {
+            append_json_line(path, name, median);
+        }
         self
+    }
+}
+
+/// Appends one `{"name":...,"median_ns":N}` line to `path`; I/O errors
+/// are reported on stderr but never fail the bench run itself.
+fn append_json_line(path: &PathBuf, name: &str, median: Duration) {
+    let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{}}}\n",
+        median.as_nanos()
+    );
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("bench {name}: cannot append to {}: {error}", path.display());
     }
 }
 
@@ -55,18 +130,37 @@ impl Criterion {
 #[derive(Debug)]
 pub struct Bencher {
     samples: Vec<Duration>,
+    quick: bool,
 }
 
 impl Bencher {
+    /// Sample count for this run's resolution.
+    fn sample_count(&self) -> usize {
+        if self.quick {
+            QUICK_SAMPLES
+        } else {
+            SAMPLES
+        }
+    }
+
+    /// Per-sample wall-clock budget for this run's resolution.
+    fn sample_budget(&self) -> Duration {
+        if self.quick {
+            QUICK_SAMPLE_BUDGET
+        } else {
+            SAMPLE_BUDGET
+        }
+    }
+
     /// Times repeated calls of `routine`.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,
     {
-        let per_sample = calibrate(|| {
+        let per_sample = calibrate(self.sample_budget(), || {
             std::hint::black_box(routine());
         });
-        for _ in 0..SAMPLES {
+        for _ in 0..self.sample_count() {
             let start = Instant::now();
             for _ in 0..per_sample {
                 std::hint::black_box(routine());
@@ -82,7 +176,7 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        for _ in 0..SAMPLES {
+        for _ in 0..self.sample_count() {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(routine(input));
@@ -90,20 +184,22 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, name: &str) {
+    /// Prints the one-line summary; returns the median for JSON output.
+    fn report(&mut self, name: &str) -> Option<Duration> {
         if self.samples.is_empty() {
             println!("bench {name}: no samples");
-            return;
+            return None;
         }
         self.samples.sort();
         let median = self.samples[self.samples.len() / 2];
         println!("bench {name}: median {median:?} per iteration");
+        Some(median)
     }
 }
 
-/// Picks an iteration count that makes one sample take roughly
-/// [`SAMPLE_BUDGET`], so very fast routines still get measurable samples.
-fn calibrate<F: FnMut()>(mut routine: F) -> u32 {
+/// Picks an iteration count that makes one sample take roughly `budget`,
+/// so very fast routines still get measurable samples.
+fn calibrate<F: FnMut()>(budget: Duration, mut routine: F) -> u32 {
     let mut iterations: u32 = 1;
     loop {
         let start = Instant::now();
@@ -111,7 +207,7 @@ fn calibrate<F: FnMut()>(mut routine: F) -> u32 {
             routine();
         }
         let elapsed = start.elapsed();
-        if elapsed >= SAMPLE_BUDGET || iterations >= 1 << 20 {
+        if elapsed >= budget || iterations >= 1 << 20 {
             return iterations.max(1);
         }
         iterations = iterations.saturating_mul(2);
