@@ -12,10 +12,14 @@ echo "==> cargo clippy (denied warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> invariant lint (anubis-xtask)"
-cargo run -p anubis-xtask --offline -- lint --error-on-unused-allowlist
+# Stale allowlist entries fail by default now.
+cargo run -p anubis-xtask --offline -- lint
 
 echo "==> call-graph analysis (anubis-xtask)"
 cargo run -p anubis-xtask --offline -- analyze --json target/analysis.sarif.json
+
+echo "==> lifecycle model checker (anubis-xtask)"
+cargo run -p anubis-xtask --offline -- modelcheck --out target/modelcheck-trace.txt
 
 echo "==> perf-regression gate (quick smoke benches vs BENCH_2.json)"
 rm -f target/bench-current.jsonl

@@ -28,8 +28,9 @@
 //! interrupted job returns to the queue rear and continues where it left
 //! off (paper Section 5.2, step 6).
 
-use crate::policy::{Policy, PolicyKind};
+use crate::policy::{Policy, PolicyKind, ValidationDecision};
 use anubis_hwsim::noise::exponential;
+use anubis_lifecycle::{LifecycleEvent, NodeLifecycle};
 use anubis_selector::NodeStatus;
 use anubis_traces::{AllocationRequest, SourceMix};
 use rand::Rng;
@@ -123,6 +124,19 @@ struct SimNode {
     repair: f64,
     incidents: u32,
     status: NodeStatus,
+    /// Operational lifecycle, driven exclusively through the
+    /// `anubis-lifecycle` transition function.
+    life: NodeLifecycle,
+}
+
+/// Applies a lifecycle event to a node. The simulator's event sequences
+/// are legal by construction — `cargo xtask modelcheck` verifies the same
+/// discipline exhaustively on the abstract coordinator model — so an
+/// illegal transition here is a simulator bug, asserted in debug builds.
+fn drive(node: &mut SimNode, event: LifecycleEvent) {
+    let applied = node.life.apply(event);
+    debug_assert!(applied.is_ok(), "sim lifecycle violation: {applied:?}");
+    let _ = applied;
 }
 
 #[derive(Debug, Clone)]
@@ -214,6 +228,7 @@ pub fn simulate(
             repair: 0.0,
             incidents: 0,
             status: NodeStatus::fresh(),
+            life: NodeLifecycle::new(),
         })
         .collect();
 
@@ -297,6 +312,9 @@ pub fn simulate(
                 .collect();
             let decision = policy.decide(&statuses, job.remaining_hours, rng);
             let validation_hours = decision.duration_hours;
+            // A non-skip decision is the policy's risk threshold crossing:
+            // the members leave the schedulable pool and run benchmarks.
+            let validating = decision != ValidationDecision::SKIP;
             let mut job_start = now + validation_hours;
             let mut any_swap = false;
 
@@ -304,6 +322,10 @@ pub fn simulate(
             let mut incident: Option<(usize, f64)> = None;
             for (idx, &m) in members.iter().enumerate() {
                 let node = &mut nodes[m as usize];
+                if validating {
+                    drive(node, LifecycleEvent::RiskCrossed);
+                    drive(node, LifecycleEvent::ValidationStarted);
+                }
                 node.validation += validation_hours;
                 // Proactive catch of a latent defect existing at
                 // validation time.
@@ -316,6 +338,13 @@ pub fn simulate(
                     node.status.record_incident(mix.sample(rng));
                     any_swap = true;
                     anubis_obs::event!("sim.proactive_catch");
+                    // Hot-buffer swap: the defective node is quarantined
+                    // and the swapped-in replacement resumes validation.
+                    drive(node, LifecycleEvent::DefectConfirmed);
+                    drive(node, LifecycleEvent::RepairCompleted);
+                    drive(node, LifecycleEvent::ReturnedToService);
+                    drive(node, LifecycleEvent::RiskCrossed);
+                    drive(node, LifecycleEvent::ValidationStarted);
                 }
                 // Defect trajectory over validation + job exposure. The
                 // benchmarks stress the hardware too, so onset clocks run
@@ -344,6 +373,11 @@ pub fn simulate(
                         node.repair += config.swap_hours;
                         node.status.record_incident(mix.sample(rng));
                         any_swap = true;
+                        drive(node, LifecycleEvent::DefectConfirmed);
+                        drive(node, LifecycleEvent::RepairCompleted);
+                        drive(node, LifecycleEvent::ReturnedToService);
+                        drive(node, LifecycleEvent::RiskCrossed);
+                        drive(node, LifecycleEvent::ValidationStarted);
                         // Swapped-in node: fresh trajectory from job start.
                         onset = exponential(rng, 1.0 / config.defect_onset_hours);
                         manifest = onset + exponential(rng, 1.0 / config.first_incident_hours);
@@ -359,6 +393,12 @@ pub fn simulate(
                         _ => incident = Some((idx, manifest)),
                     }
                 }
+                // The (possibly swapped) member passed its benchmarks and
+                // takes the job.
+                if validating {
+                    drive(node, LifecycleEvent::ValidationPassed);
+                }
+                drive(node, LifecycleEvent::JobAssigned);
             }
             if any_swap {
                 job_start += config.swap_hours;
@@ -414,6 +454,9 @@ pub fn simulate(
                 }
             }
             EventKind::NodeReady(node) => {
+                // Quarantined since its incident; repair just finished.
+                drive(&mut nodes[node as usize], LifecycleEvent::RepairCompleted);
+                drive(&mut nodes[node as usize], LifecycleEvent::ReturnedToService);
                 idle.push_back(node);
             }
             EventKind::JobFinish(slot) => {
@@ -448,6 +491,8 @@ pub fn simulate(
                         node.status.record_incident(mix.sample(&mut rng));
                         node.latent = true;
                         node.manifested = true;
+                        // Busy → Quarantined; back in service at NodeReady.
+                        drive(node, LifecycleEvent::IncidentObserved);
                     }
                     let ready_at = if policy.full_restore_on_incident() {
                         let node = &mut nodes[incident_node as usize];
@@ -475,6 +520,7 @@ pub fn simulate(
                     seq_counter += 1;
                     for (idx, &m) in job.nodes.iter().enumerate() {
                         if idx != incident_idx {
+                            drive(&mut nodes[m as usize], LifecycleEvent::JobCompleted);
                             idle.push_back(m);
                         }
                     }
@@ -488,6 +534,7 @@ pub fn simulate(
                 } else {
                     jobs_completed += 1;
                     for &m in &job.nodes {
+                        drive(&mut nodes[m as usize], LifecycleEvent::JobCompleted);
                         idle.push_back(m);
                     }
                 }

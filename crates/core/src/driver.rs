@@ -30,6 +30,10 @@ pub struct StepReport {
     pub gray_nodes: usize,
     /// Nodes with benchmark-visible damage after the step.
     pub visible_nodes: usize,
+    /// Fleet nodes the lifecycle machine holds in `Quarantined` after the
+    /// step: confirmed defective but unswapped (hot buffer empty), still
+    /// occupying their slot.
+    pub quarantined_nodes: usize,
 }
 
 /// Drives a fleet through wear / check / swap cycles.
@@ -152,6 +156,11 @@ impl FleetDriver {
                 .iter()
                 .filter(|n| n.has_detectable_defect())
                 .count(),
+            quarantined_nodes: self
+                .nodes
+                .iter()
+                .filter(|n| self.system.lifecycle_of(n.id()).state().is_quarantined())
+                .count(),
         })
     }
 }
@@ -207,13 +216,18 @@ mod tests {
     fn empty_hot_buffer_reports_unswapped() {
         let mut driver = driver(10, 0, 4.0);
         let mut unswapped = 0usize;
+        let mut last_quarantined = 0usize;
         for _ in 0..4 {
-            unswapped += driver.step(400.0).unwrap().unswapped;
+            let report = driver.step(400.0).unwrap();
+            unswapped += report.unswapped;
+            last_quarantined = report.quarantined_nodes;
         }
         assert!(unswapped > 0, "no spares: swaps must fail");
         // Without spares nothing ever reaches the repair loop and the
         // defective nodes stay in service.
         assert_eq!(driver.repair().hot_buffer_len(), 0);
         assert!(driver.nodes().iter().any(NodeSim::has_detectable_defect));
+        // The lifecycle machine keeps them quarantined while they serve.
+        assert!(last_quarantined > 0, "unswapped defects stay quarantined");
     }
 }

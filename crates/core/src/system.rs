@@ -3,6 +3,7 @@
 use crate::events::{EventOutcome, ValidationEvent};
 use anubis_benchsuite::{BenchmarkId, SuiteError};
 use anubis_hwsim::{NodeId, NodeSim};
+use anubis_lifecycle::{LifecycleEvent, NodeLifecycle};
 use anubis_netsim::FatTree;
 use anubis_selector::{NodeStatus, Selector};
 use anubis_validator::{Validator, ValidatorConfig};
@@ -43,6 +44,7 @@ pub struct Anubis {
     validator: Validator,
     selector: Option<Selector>,
     statuses: BTreeMap<NodeId, NodeStatus>,
+    lives: BTreeMap<NodeId, NodeLifecycle>,
     defect_counter: u64,
 }
 
@@ -53,6 +55,7 @@ impl Anubis {
             validator: Validator::new(config.validator),
             selector: None,
             statuses: BTreeMap::new(),
+            lives: BTreeMap::new(),
             defect_counter: 0,
         }
     }
@@ -78,6 +81,46 @@ impl Anubis {
         self.statuses.get(&node).cloned().unwrap_or_default()
     }
 
+    /// Current lifecycle of a node (healthy if never seen). All changes
+    /// route through the `anubis-lifecycle` transition function.
+    pub fn lifecycle_of(&self, node: NodeId) -> NodeLifecycle {
+        self.lives.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Applies a lifecycle event to a node when it is legal in the node's
+    /// current state, returning whether it was applied.
+    ///
+    /// Silently gated rather than asserted: the managed fleet can
+    /// legitimately hold nodes whose machine state rejects an event — an
+    /// unswapped defective node stays `Quarantined` through repeated
+    /// re-validation (capacity over quality), and a re-stocked spare stays
+    /// `Quarantined` until a validation pass re-certifies it.
+    fn drive(&mut self, node: NodeId, event: LifecycleEvent) -> bool {
+        let life = self.lives.entry(node).or_default();
+        if life.can(event) {
+            life.apply(event).is_ok()
+        } else {
+            false
+        }
+    }
+
+    /// Records validation verdicts for every node in `ids`: flagged nodes
+    /// are quarantined; the rest leave validation healthy. A `Quarantined`
+    /// node that passes is re-certified (repair completed, returned to
+    /// service).
+    fn record_verdicts(&mut self, ids: &[NodeId], flagged: &BTreeMap<NodeId, Vec<BenchmarkId>>) {
+        for &id in ids {
+            if flagged.contains_key(&id) {
+                self.drive(id, LifecycleEvent::DefectConfirmed);
+            } else if self.lifecycle_of(id).state().is_quarantined() {
+                self.drive(id, LifecycleEvent::RepairCompleted);
+                self.drive(id, LifecycleEvent::ReturnedToService);
+            } else {
+                self.drive(id, LifecycleEvent::ValidationPassed);
+            }
+        }
+    }
+
     /// Advances every tracked node's clocks (call as simulated time
     /// passes).
     pub fn advance_hours(&mut self, hours: f64) {
@@ -99,7 +142,9 @@ impl Anubis {
     ) -> Result<EventOutcome, SuiteError> {
         for node in nodes.iter() {
             self.statuses.entry(node.id()).or_default();
+            self.lives.entry(node.id()).or_default();
         }
+        let ids: Vec<NodeId> = nodes.iter().map(NodeSim::id).collect();
         let _span = anubis_obs::span!(match event {
             ValidationEvent::NodesAdded => "event.nodes_added",
             ValidationEvent::JobAllocation { .. } => "event.job_allocation",
@@ -109,6 +154,12 @@ impl Anubis {
         match event {
             ValidationEvent::NodesAdded => {
                 // Quality gate: full set, criteria learned from this run.
+                // Build-out treats every unknown node as having crossed the
+                // risk threshold — it must prove itself before serving.
+                for &id in &ids {
+                    self.drive(id, LifecycleEvent::RiskCrossed);
+                    self.drive(id, LifecycleEvent::ValidationStarted);
+                }
                 let single = BenchmarkId::single_node();
                 let set: Vec<BenchmarkId> = if fabric.is_some() {
                     BenchmarkId::ALL.to_vec()
@@ -123,6 +174,7 @@ impl Anubis {
                     .map_err(SuiteError::Metrics)?;
                 let outcome = self.validator.filter_data(&report.data);
                 self.record_defects(&outcome.flagged);
+                self.record_verdicts(&ids, &outcome.flagged);
                 Ok(EventOutcome {
                     validated: true,
                     benchmarks: set,
@@ -135,17 +187,22 @@ impl Anubis {
                 let statuses: Vec<NodeStatus> =
                     nodes.iter().map(|n| self.status_of(n.id())).collect();
                 let subset = match &self.selector {
-                    Some(selector) => {
-                        if !selector.should_validate(&statuses, *horizon_hours) {
-                            return Ok(EventOutcome::skipped());
-                        }
-                        selector.select(&statuses, *horizon_hours)
-                    }
+                    // An empty subset stands for "risk below p₀ / nothing
+                    // worth running": the event becomes a skip below.
+                    Some(selector) => match selector.assess(&statuses, *horizon_hours) {
+                        LifecycleEvent::RiskCleared => Vec::new(),
+                        _ => selector.select(&statuses, *horizon_hours),
+                    },
                     // Without a Selector, fall back to the full set (the
                     // conservative quality-gate behaviour).
                     None => BenchmarkId::ALL.to_vec(),
                 };
                 if subset.is_empty() {
+                    // Release any node still flagged from an earlier
+                    // crossing; the model refresh lowered its risk.
+                    for &id in &ids {
+                        self.drive(id, LifecycleEvent::RiskCleared);
+                    }
                     return Ok(EventOutcome::skipped());
                 }
                 let subset: Vec<BenchmarkId> = subset
@@ -154,8 +211,13 @@ impl Anubis {
                         fabric.is_some() || b.spec().phase == anubis_benchsuite::Phase::SingleNode
                     })
                     .collect();
+                for &id in &ids {
+                    self.drive(id, LifecycleEvent::RiskCrossed);
+                    self.drive(id, LifecycleEvent::ValidationStarted);
+                }
                 let report = self.validator.validate(&subset, nodes, members, fabric)?;
                 self.record_defects(&report.flagged);
+                self.record_verdicts(&ids, &report.flagged);
                 Ok(EventOutcome {
                     validated: true,
                     benchmarks: subset,
@@ -184,11 +246,15 @@ impl Anubis {
                 if subset.is_empty() {
                     return Ok(EventOutcome::skipped());
                 }
+                // The incident is this node's threshold crossing.
+                self.drive(*node, LifecycleEvent::RiskCrossed);
+                self.drive(*node, LifecycleEvent::ValidationStarted);
                 let node_slice = &mut nodes[idx..=idx];
                 let report =
                     self.validator
                         .validate(&subset, node_slice, &members[idx..=idx], None)?;
                 self.record_defects(&report.flagged);
+                self.record_verdicts(std::slice::from_ref(node), &report.flagged);
                 Ok(EventOutcome {
                     validated: true,
                     benchmarks: subset,
@@ -380,6 +446,100 @@ mod tests {
         // The disk defect is only recorded if the selected subset included
         // a disk benchmark; at minimum the counter never decreases.
         assert!(after >= before);
+    }
+
+    #[test]
+    fn lifecycle_tracks_build_out_verdicts() {
+        let mut system = Anubis::new(AnubisConfig::default());
+        let (mut nodes, members) = fleet(12, 5);
+        nodes[3].inject_fault(FaultKind::PcieDowngrade { severity: 0.5 });
+        system
+            .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+            .unwrap();
+        assert!(system.lifecycle_of(NodeId(3)).state().is_quarantined());
+        assert!(system.lifecycle_of(NodeId(0)).state().is_healthy());
+        assert!(
+            system.lifecycle_of(NodeId(99)).state().is_healthy(),
+            "unknown node is fresh"
+        );
+    }
+
+    #[test]
+    fn passing_validation_recertifies_a_quarantined_node() {
+        let mut system = Anubis::new(AnubisConfig::default());
+        let (mut nodes, members) = fleet(8, 5);
+        nodes[2].inject_fault(FaultKind::GpuComputeDegraded { severity: 0.4 });
+        system
+            .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+            .unwrap();
+        assert!(system.lifecycle_of(NodeId(2)).state().is_quarantined());
+        // Hardware replaced behind the same id; the next check passes and
+        // re-certifies the node (repair completed, returned to service).
+        nodes[2] = NodeSim::new(NodeId(2), NodeSpec::a100_8x(), 5);
+        let outcome = system
+            .handle_event(
+                &ValidationEvent::RegularCheck {
+                    horizon_hours: 24.0,
+                },
+                &mut nodes,
+                &members,
+                None,
+            )
+            .unwrap();
+        assert!(outcome.validated);
+        assert!(!outcome.defective.contains(&NodeId(2)), "{outcome:?}");
+        assert!(system.lifecycle_of(NodeId(2)).state().is_healthy());
+    }
+
+    #[test]
+    fn incident_quarantines_the_defective_node() {
+        let (mut nodes, members) = fleet(4, 11);
+        let mut system = Anubis::new(AnubisConfig::default()).with_selector(risky_selector());
+        system
+            .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+            .unwrap();
+        nodes[2].inject_fault(FaultKind::GpuComputeDegraded { severity: 0.4 });
+        system
+            .handle_event(
+                &ValidationEvent::IncidentReported {
+                    node: NodeId(2),
+                    category: IncidentCategory::GpuCompute,
+                },
+                &mut nodes,
+                &members,
+                None,
+            )
+            .unwrap();
+        assert!(system.lifecycle_of(NodeId(2)).state().is_quarantined());
+        assert!(system.lifecycle_of(NodeId(0)).state().is_healthy());
+    }
+
+    #[test]
+    fn skipped_check_clears_suspects() {
+        let (mut nodes, members) = fleet(4, 9);
+        let safe = Selector::new(
+            Box::new(ExponentialModel { rate: 1e-9 }),
+            CoverageTable::new(),
+            SelectorConfig::default(),
+        );
+        let mut system = Anubis::new(AnubisConfig::default()).with_selector(safe);
+        system
+            .handle_event(&ValidationEvent::NodesAdded, &mut nodes, &members, None)
+            .unwrap();
+        let outcome = system
+            .handle_event(
+                &ValidationEvent::JobAllocation {
+                    horizon_hours: 24.0,
+                },
+                &mut nodes,
+                &members,
+                None,
+            )
+            .unwrap();
+        assert!(!outcome.validated);
+        for i in 0..4 {
+            assert!(system.lifecycle_of(NodeId(i)).state().is_healthy());
+        }
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! The node-lifecycle state machine and its single transition function.
+//!
+//! The machine encodes the operator loop of paper Section 3: a node
+//! serves jobs while healthy, is flagged *suspect* when its incident
+//! probability crosses the Selector's threshold, runs validation
+//! benchmarks, and is quarantined/repaired when a defect is confirmed.
+//! Two discipline rules are built into the transition table itself:
+//!
+//! - a node never starts validation while serving a job (there is no
+//!   `Busy` + [`LifecycleEvent::ValidationStarted`] transition), and
+//! - a suspect node never takes a new job before it was validated (no
+//!   `Suspect` + [`LifecycleEvent::JobAssigned`] transition) — a crossed
+//!   threshold cannot be skipped.
+//!
+//! Everything else in the workspace must change node state exclusively
+//! through [`transition`] (usually via the [`NodeLifecycle`] wrapper);
+//! the `A005` analysis pass enforces that no other crate constructs or
+//! mutates a [`NodeState`].
+
+use std::error::Error;
+use std::fmt;
+
+/// Operational lifecycle state of one fleet node.
+///
+/// Outside `anubis-lifecycle`, interrogate the state with the `is_*`
+/// predicates instead of naming variants: any `NodeState::<Variant>`
+/// token in another crate is an A005 finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeState {
+    /// In service and idle; no elevated risk known.
+    Healthy,
+    /// In service, running a customer job.
+    Busy,
+    /// Incident probability crossed the Selector threshold; awaiting
+    /// validation (still in service, but not schedulable).
+    Suspect,
+    /// Validation benchmarks are running; out of service.
+    Validating,
+    /// Confirmed defective; out of service awaiting repair.
+    Quarantined,
+    /// Repair finished; awaiting return to service.
+    Repaired,
+}
+
+impl NodeState {
+    /// Whether the node is `Healthy`.
+    pub fn is_healthy(self) -> bool {
+        self == Self::Healthy
+    }
+
+    /// Whether the node is serving a job.
+    pub fn is_busy(self) -> bool {
+        self == Self::Busy
+    }
+
+    /// Whether the node awaits validation after a threshold crossing.
+    pub fn is_suspect(self) -> bool {
+        self == Self::Suspect
+    }
+
+    /// Whether validation benchmarks are running on the node.
+    pub fn is_validating(self) -> bool {
+        self == Self::Validating
+    }
+
+    /// Whether the node is quarantined as confirmed-defective.
+    pub fn is_quarantined(self) -> bool {
+        self == Self::Quarantined
+    }
+
+    /// Whether the node finished repair but has not returned to service.
+    pub fn is_repaired(self) -> bool {
+        self == Self::Repaired
+    }
+
+    /// Whether the node counts toward serving capacity: `Healthy`,
+    /// `Busy`, or `Suspect` (a suspect node is still in the fleet — it
+    /// only stops taking *new* work).
+    pub fn in_service(self) -> bool {
+        matches!(self, Self::Healthy | Self::Busy | Self::Suspect)
+    }
+
+    /// Stable lower-case name, for traces and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Busy => "busy",
+            Self::Suspect => "suspect",
+            Self::Validating => "validating",
+            Self::Quarantined => "quarantined",
+            Self::Repaired => "repaired",
+        }
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Events that move a node through the lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The Selector's incident probability crossed the threshold.
+    RiskCrossed,
+    /// A model refresh lowered the probability back under the threshold.
+    RiskCleared,
+    /// The orchestrator placed a customer job on the node.
+    JobAssigned,
+    /// The node's job finished normally.
+    JobCompleted,
+    /// Validation benchmarks started on the node.
+    ValidationStarted,
+    /// Validation passed: no defect found.
+    ValidationPassed,
+    /// Validation confirmed a defect.
+    DefectConfirmed,
+    /// A customer-visible incident struck the node mid-stress.
+    IncidentObserved,
+    /// Repair (or hot-buffer swap) finished.
+    RepairCompleted,
+    /// The repaired node re-entered the serving pool.
+    ReturnedToService,
+}
+
+impl LifecycleEvent {
+    /// Stable lower-kebab name, for traces and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RiskCrossed => "risk-crossed",
+            Self::RiskCleared => "risk-cleared",
+            Self::JobAssigned => "job-assigned",
+            Self::JobCompleted => "job-completed",
+            Self::ValidationStarted => "validation-started",
+            Self::ValidationPassed => "validation-passed",
+            Self::DefectConfirmed => "defect-confirmed",
+            Self::IncidentObserved => "incident-observed",
+            Self::RepairCompleted => "repair-completed",
+            Self::ReturnedToService => "returned-to-service",
+        }
+    }
+}
+
+impl fmt::Display for LifecycleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An event that is illegal in the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// The state the event was applied in.
+    pub from: NodeState,
+    /// The rejected event.
+    pub event: LifecycleEvent,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal lifecycle transition: `{}` in state `{}`",
+            self.event, self.from
+        )
+    }
+}
+
+impl Error for TransitionError {}
+
+/// The single transition function of the node lifecycle.
+///
+/// Every state change in the workspace routes through here; the match is
+/// exhaustive over the legal pairs and everything else is a
+/// [`TransitionError`]. Notable rejections (the discipline the model
+/// checker relies on): `Busy` + `ValidationStarted` and `Suspect` +
+/// `JobAssigned`.
+///
+/// # Errors
+///
+/// Returns [`TransitionError`] when `event` is not legal in `state`.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_lifecycle::{transition, LifecycleEvent, NodeState};
+///
+/// let s = transition(NodeState::Healthy, LifecycleEvent::RiskCrossed).unwrap();
+/// assert!(s.is_suspect());
+/// // A suspect node cannot take a job before it was validated.
+/// assert!(transition(s, LifecycleEvent::JobAssigned).is_err());
+/// ```
+pub fn transition(state: NodeState, event: LifecycleEvent) -> Result<NodeState, TransitionError> {
+    use LifecycleEvent as E;
+    use NodeState as S;
+    let next = match (state, event) {
+        // Risk assessment (the Selector).
+        (S::Healthy, E::RiskCrossed) => S::Suspect,
+        (S::Suspect, E::RiskCrossed) => S::Suspect, // idempotent re-flag
+        (S::Suspect, E::RiskCleared) => S::Healthy,
+        // Job scheduling: only healthy nodes take work.
+        (S::Healthy, E::JobAssigned) => S::Busy,
+        (S::Busy, E::JobCompleted) => S::Healthy,
+        // Validation (the Validator): suspects only — never a busy node.
+        (S::Suspect, E::ValidationStarted) => S::Validating,
+        (S::Validating, E::ValidationPassed) => S::Healthy,
+        (S::Validating, E::DefectConfirmed) => S::Quarantined,
+        // Incidents confirm a defect under stress (job or benchmarks).
+        (S::Busy, E::IncidentObserved) => S::Quarantined,
+        (S::Validating, E::IncidentObserved) => S::Quarantined,
+        // Repair and return to service.
+        (S::Quarantined, E::RepairCompleted) => S::Repaired,
+        (S::Repaired, E::ReturnedToService) => S::Healthy,
+        (from, event) => return Err(TransitionError { from, event }),
+    };
+    Ok(next)
+}
+
+/// Tracks one node's lifecycle, routing every change through
+/// [`transition`].
+///
+/// The inner state is private on purpose: holders cannot bypass the
+/// machine, and the `A005` pass additionally rejects any crate that
+/// constructs a bare [`NodeState`] to sidestep it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLifecycle {
+    state: NodeState,
+}
+
+impl Default for NodeLifecycle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeLifecycle {
+    /// A fresh node, starting `Healthy`.
+    pub fn new() -> Self {
+        Self {
+            state: NodeState::Healthy,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Applies `event` through [`transition`], updating the tracked state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] (state unchanged) when the event is
+    /// illegal in the current state.
+    pub fn apply(&mut self, event: LifecycleEvent) -> Result<NodeState, TransitionError> {
+        let next = transition(self.state, event)?;
+        self.state = next;
+        Ok(next)
+    }
+
+    /// Whether `event` would be legal in the current state.
+    pub fn can(&self, event: LifecycleEvent) -> bool {
+        transition(self.state(), event).is_ok()
+    }
+
+    /// Whether the node counts toward serving capacity.
+    pub fn in_service(&self) -> bool {
+        self.state().in_service()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LifecycleEvent as E;
+    use NodeState as S;
+
+    const ALL_STATES: [NodeState; 6] = [
+        S::Healthy,
+        S::Busy,
+        S::Suspect,
+        S::Validating,
+        S::Quarantined,
+        S::Repaired,
+    ];
+    const ALL_EVENTS: [LifecycleEvent; 10] = [
+        E::RiskCrossed,
+        E::RiskCleared,
+        E::JobAssigned,
+        E::JobCompleted,
+        E::ValidationStarted,
+        E::ValidationPassed,
+        E::DefectConfirmed,
+        E::IncidentObserved,
+        E::RepairCompleted,
+        E::ReturnedToService,
+    ];
+
+    #[test]
+    fn happy_path_through_the_whole_lifecycle() {
+        let mut life = NodeLifecycle::new();
+        assert!(life.state().is_healthy());
+        assert_eq!(life.apply(E::RiskCrossed).unwrap(), S::Suspect);
+        assert_eq!(life.apply(E::ValidationStarted).unwrap(), S::Validating);
+        assert_eq!(life.apply(E::DefectConfirmed).unwrap(), S::Quarantined);
+        assert_eq!(life.apply(E::RepairCompleted).unwrap(), S::Repaired);
+        assert_eq!(life.apply(E::ReturnedToService).unwrap(), S::Healthy);
+        assert_eq!(life.apply(E::JobAssigned).unwrap(), S::Busy);
+        assert_eq!(life.apply(E::JobCompleted).unwrap(), S::Healthy);
+    }
+
+    #[test]
+    fn busy_node_never_starts_validation() {
+        assert!(transition(S::Busy, E::ValidationStarted).is_err());
+    }
+
+    #[test]
+    fn suspect_node_never_takes_a_job() {
+        assert!(transition(S::Suspect, E::JobAssigned).is_err());
+    }
+
+    #[test]
+    fn validation_requires_a_crossed_threshold() {
+        assert!(transition(S::Healthy, E::ValidationStarted).is_err());
+    }
+
+    #[test]
+    fn failed_apply_leaves_state_unchanged() {
+        let mut life = NodeLifecycle::new();
+        life.apply(E::JobAssigned).unwrap();
+        let err = life.apply(E::ValidationStarted).unwrap_err();
+        assert_eq!(err.from, S::Busy);
+        assert_eq!(err.event, E::ValidationStarted);
+        assert!(life.state().is_busy());
+    }
+
+    #[test]
+    fn exactly_the_documented_pairs_are_legal() {
+        let mut legal = 0usize;
+        for &state in &ALL_STATES {
+            for &event in &ALL_EVENTS {
+                if transition(state, event).is_ok() {
+                    legal += 1;
+                }
+            }
+        }
+        assert_eq!(legal, 12, "transition table size is pinned");
+    }
+
+    #[test]
+    fn in_service_matches_states() {
+        for &state in &ALL_STATES {
+            let expected = matches!(state, S::Healthy | S::Busy | S::Suspect);
+            assert_eq!(state.in_service(), expected, "{state}");
+        }
+    }
+
+    #[test]
+    fn predicates_and_names_are_consistent() {
+        assert!(S::Healthy.is_healthy());
+        assert!(S::Busy.is_busy());
+        assert!(S::Suspect.is_suspect());
+        assert!(S::Validating.is_validating());
+        assert!(S::Quarantined.is_quarantined());
+        assert!(S::Repaired.is_repaired());
+        let names: Vec<&str> = ALL_STATES.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn error_display_names_state_and_event() {
+        let err = transition(S::Busy, E::ValidationStarted).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("validation-started"), "{text}");
+        assert!(text.contains("busy"), "{text}");
+    }
+}

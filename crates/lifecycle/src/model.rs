@@ -1,0 +1,689 @@
+//! Small-model abstraction of the Selector/Validator coordinator loop
+//! and an exhaustive checker over bounded event interleavings.
+//!
+//! The model is the coordinator as the paper describes it: the Selector
+//! raises risk crossings, the coordinator schedules validation on
+//! suspect nodes subject to a capacity floor, the Validator reports
+//! pass/fail, repair returns quarantined nodes to service. Budgets on
+//! jobs, crossings, and incidents make the reachable state space finite,
+//! so [`check_model`] can enumerate it exhaustively (breadth-first) and
+//! decide three properties:
+//!
+//! 1. **Eventual validation** ([`Property::EventualValidation`]) — in
+//!    every terminal state (no stimulus enabled), no node still has an
+//!    unserviced risk crossing.
+//! 2. **No validation while serving** ([`Property::NoValidationWhileServing`])
+//!    — validation is never started on a `Busy` node. The transition
+//!    table rejects it; the model reports the rejection as a violation
+//!    when a (deliberately injected) coordinator bug attempts it.
+//! 3. **Capacity floor** ([`Property::CapacityFloor`]) — taking a node
+//!    out of service for validation never drops the in-service count
+//!    below the configured floor.
+//!
+//! A correct coordinator satisfies all three; [`CoordinatorBugs`] flags
+//! re-introduce one class of bug each so the checker's counterexample
+//! machinery stays honest (each bug yields a printable trace ending in
+//! the corresponding violation).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::machine::{LifecycleEvent, NodeLifecycle, TransitionError};
+
+/// Bounds for one model-checking run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Fleet size (the issue targets 3–5 nodes).
+    pub nodes: usize,
+    /// Capacity floor: scheduling validation must keep at least this
+    /// many nodes in service.
+    pub min_in_service: usize,
+    /// How many jobs may arrive in total.
+    pub jobs: usize,
+    /// How many risk crossings the Selector may raise in total.
+    pub risk_crossings: usize,
+    /// How many incidents may strike in total.
+    pub incidents: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 3,
+            min_in_service: 2,
+            jobs: 2,
+            risk_crossings: 2,
+            incidents: 1,
+        }
+    }
+}
+
+/// Deliberately injectable coordinator bugs, one per checked property.
+///
+/// With all flags false the coordinator is correct and [`check_model`]
+/// finds no violation; each flag demonstrates one property failure with
+/// a concrete counterexample trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoordinatorBugs {
+    /// Drop a risk crossing that arrives while the node is busy instead
+    /// of parking it — violates [`Property::EventualValidation`].
+    pub forget_pending_risk: bool,
+    /// Try to start validation the moment risk crosses, even on a busy
+    /// node — violates [`Property::NoValidationWhileServing`].
+    pub validate_while_busy: bool,
+    /// Schedule validation without consulting the capacity floor —
+    /// violates [`Property::CapacityFloor`].
+    pub ignore_capacity_floor: bool,
+}
+
+/// The three checked properties (plus the transition discipline itself,
+/// which every step of the model exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// Every threshold crossing is eventually validated.
+    EventualValidation,
+    /// No validation is scheduled on a node serving a job.
+    NoValidationWhileServing,
+    /// Quarantine/validation never drops the fleet below capacity.
+    CapacityFloor,
+    /// A model step attempted an illegal lifecycle transition.
+    TransitionDiscipline,
+}
+
+impl Property {
+    /// Stable name, for traces and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::EventualValidation => "eventual-validation",
+            Self::NoValidationWhileServing => "no-validation-while-serving",
+            Self::CapacityFloor => "capacity-floor",
+            Self::TransitionDiscipline => "transition-discipline",
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Environment stimuli the enumerator interleaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stimulus {
+    /// A customer job arrives and is placed on the first healthy node.
+    JobArrives,
+    /// The job on node `n` finishes.
+    JobFinishes(usize),
+    /// The Selector's incident probability for node `n` crosses the
+    /// threshold.
+    RiskCrosses(usize),
+    /// Validation on node `n` passes.
+    ValidationPasses(usize),
+    /// Validation on node `n` confirms a defect.
+    ValidationFails(usize),
+    /// An incident strikes node `n` mid-job.
+    IncidentStrikes(usize),
+    /// Repair of node `n` finishes and it returns to service.
+    RepairFinishes(usize),
+}
+
+impl fmt::Display for Stimulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::JobArrives => write!(f, "job arrives"),
+            Self::JobFinishes(n) => write!(f, "job on node {n} finishes"),
+            Self::RiskCrosses(n) => write!(f, "risk crosses threshold on node {n}"),
+            Self::ValidationPasses(n) => write!(f, "validation passes on node {n}"),
+            Self::ValidationFails(n) => write!(f, "validation confirms defect on node {n}"),
+            Self::IncidentStrikes(n) => write!(f, "incident strikes node {n}"),
+            Self::RepairFinishes(n) => write!(f, "repair finishes on node {n}"),
+        }
+    }
+}
+
+/// A property violation with the interleaving that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which property failed.
+    pub property: Property,
+    /// What exactly went wrong in the final step.
+    pub detail: String,
+    /// Human-readable replay of every step from the initial state.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "property violated: {}", self.property)?;
+        writeln!(f, "  {}", self.detail)?;
+        writeln!(f, "counterexample trace ({} steps):", self.trace.len())?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i.saturating_add(1))?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one exhaustive run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Distinct model states visited.
+    pub states_explored: usize,
+    /// Stimulus applications explored (edges).
+    pub transitions: usize,
+    /// First violation found, if any (breadth-first, so a shortest
+    /// counterexample).
+    pub violation: Option<Violation>,
+}
+
+/// One model state: the coordinator's bookkeeping plus the environment's
+/// ground truth and remaining budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Model {
+    lives: Vec<NodeLifecycle>,
+    /// Coordinator memory: risk crossed while the node was busy; revisit
+    /// at job completion.
+    pending_risk: Vec<bool>,
+    /// Environment ground truth: node `i` has an unserviced crossing.
+    crossed: Vec<bool>,
+    jobs_left: usize,
+    risk_left: usize,
+    incidents_left: usize,
+}
+
+/// What applying one stimulus produced.
+enum StepOutcome {
+    /// Step applied; description for the trace.
+    Ok(String),
+    /// Step surfaced a property violation.
+    Violated(Property, String),
+}
+
+impl Model {
+    fn new(cfg: &ModelConfig) -> Self {
+        Self {
+            lives: vec![NodeLifecycle::new(); cfg.nodes],
+            pending_risk: vec![false; cfg.nodes],
+            crossed: vec![false; cfg.nodes],
+            jobs_left: cfg.jobs,
+            risk_left: cfg.risk_crossings,
+            incidents_left: cfg.incidents,
+        }
+    }
+
+    fn in_service(&self) -> usize {
+        self.lives.iter().filter(|l| l.in_service()).count()
+    }
+
+    /// Compact canonical encoding for the visited set.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.lives.len().saturating_add(3));
+        for (i, life) in self.lives.iter().enumerate() {
+            let s = life.state();
+            let mut b: u8 = if s.is_healthy() {
+                0
+            } else if s.is_busy() {
+                1
+            } else if s.is_suspect() {
+                2
+            } else if s.is_validating() {
+                3
+            } else if s.is_quarantined() {
+                4
+            } else {
+                5
+            };
+            if self.pending_risk.get(i).copied().unwrap_or(false) {
+                b |= 0x10;
+            }
+            if self.crossed.get(i).copied().unwrap_or(false) {
+                b |= 0x20;
+            }
+            out.push(b);
+        }
+        out.push(self.jobs_left as u8);
+        out.push(self.risk_left as u8);
+        out.push(self.incidents_left as u8);
+        out
+    }
+
+    /// Stimuli enabled in this state, in deterministic order.
+    fn enabled(&self) -> Vec<Stimulus> {
+        let mut out = Vec::new();
+        if self.jobs_left > 0 && self.lives.iter().any(|l| l.state().is_healthy()) {
+            out.push(Stimulus::JobArrives);
+        }
+        for (i, life) in self.lives.iter().enumerate() {
+            let s = life.state();
+            if s.is_busy() {
+                out.push(Stimulus::JobFinishes(i));
+                if self.incidents_left > 0 {
+                    out.push(Stimulus::IncidentStrikes(i));
+                }
+            }
+            if self.risk_left > 0
+                && (s.is_healthy() || s.is_busy())
+                && !self.crossed.get(i).copied().unwrap_or(false)
+            {
+                out.push(Stimulus::RiskCrosses(i));
+            }
+            if s.is_validating() {
+                out.push(Stimulus::ValidationPasses(i));
+                out.push(Stimulus::ValidationFails(i));
+            }
+            if s.is_quarantined() {
+                out.push(Stimulus::RepairFinishes(i));
+            }
+        }
+        out
+    }
+
+    fn drive(&mut self, node: usize, event: LifecycleEvent) -> Result<(), (Property, String)> {
+        let life = self
+            .lives
+            .get_mut(node)
+            .ok_or_else(|| (Property::TransitionDiscipline, format!("no node {node}")))?;
+        match life.apply(event) {
+            Ok(_) => Ok(()),
+            Err(TransitionError { from, event }) => Err((
+                Property::TransitionDiscipline,
+                format!("node {node}: event `{event}` illegal in state `{from}`"),
+            )),
+        }
+    }
+
+    fn set_pending(&mut self, node: usize, value: bool) {
+        if let Some(slot) = self.pending_risk.get_mut(node) {
+            *slot = value;
+        }
+    }
+
+    fn set_crossed(&mut self, node: usize, value: bool) {
+        if let Some(slot) = self.crossed.get_mut(node) {
+            *slot = value;
+        }
+    }
+
+    /// Coordinator scheduling pass: start validation on suspect nodes
+    /// while the capacity floor allows it. Returns trace fragments.
+    fn schedule(
+        &mut self,
+        cfg: &ModelConfig,
+        bugs: &CoordinatorBugs,
+    ) -> Result<Vec<String>, (Property, String)> {
+        let mut notes = Vec::new();
+        for i in 0..self.lives.len() {
+            let suspect = self.lives.get(i).is_some_and(|l| l.state().is_suspect());
+            if !suspect {
+                continue;
+            }
+            let room = self.in_service() > cfg.min_in_service;
+            if !room && !bugs.ignore_capacity_floor {
+                notes.push(format!(
+                    "coordinator defers validation of node {i}: capacity floor \
+                     ({} in service, floor {})",
+                    self.in_service(),
+                    cfg.min_in_service
+                ));
+                continue;
+            }
+            self.drive(i, LifecycleEvent::ValidationStarted)?;
+            self.set_crossed(i, false);
+            self.set_pending(i, false);
+            notes.push(format!("coordinator starts validation on node {i}"));
+            if self.in_service() < cfg.min_in_service {
+                return Err((
+                    Property::CapacityFloor,
+                    format!(
+                        "starting validation on node {i} left {} nodes in service, \
+                         below floor {}",
+                        self.in_service(),
+                        cfg.min_in_service
+                    ),
+                ));
+            }
+        }
+        Ok(notes)
+    }
+
+    /// Applies one stimulus (environment move + coordinator reaction).
+    fn step(&mut self, s: Stimulus, cfg: &ModelConfig, bugs: &CoordinatorBugs) -> StepOutcome {
+        let mut notes: Vec<String> = vec![format!("{s}")];
+        let result: Result<(), (Property, String)> = (|| {
+            match s {
+                Stimulus::JobArrives => {
+                    let target = self
+                        .lives
+                        .iter()
+                        .position(|l| l.state().is_healthy())
+                        .ok_or_else(|| {
+                            (
+                                Property::TransitionDiscipline,
+                                "job arrived with no healthy node".to_string(),
+                            )
+                        })?;
+                    self.jobs_left = self.jobs_left.saturating_sub(1);
+                    self.drive(target, LifecycleEvent::JobAssigned)?;
+                    notes.push(format!("coordinator places job on node {target}"));
+                }
+                Stimulus::JobFinishes(i) => {
+                    self.drive(i, LifecycleEvent::JobCompleted)?;
+                    if self.pending_risk.get(i).copied().unwrap_or(false) {
+                        self.drive(i, LifecycleEvent::RiskCrossed)?;
+                        self.set_pending(i, false);
+                        notes.push(format!(
+                            "coordinator re-raises parked risk crossing on node {i}"
+                        ));
+                    }
+                    notes.extend(self.schedule(cfg, bugs)?);
+                }
+                Stimulus::RiskCrosses(i) => {
+                    self.risk_left = self.risk_left.saturating_sub(1);
+                    self.set_crossed(i, true);
+                    let state =
+                        self.lives.get(i).map(NodeLifecycle::state).ok_or_else(|| {
+                            (Property::TransitionDiscipline, format!("no node {i}"))
+                        })?;
+                    if state.is_busy() {
+                        if bugs.validate_while_busy {
+                            // Buggy coordinator: validate immediately.
+                            if let Err((_, detail)) =
+                                self.drive(i, LifecycleEvent::ValidationStarted)
+                            {
+                                return Err((Property::NoValidationWhileServing, detail));
+                            }
+                        } else if bugs.forget_pending_risk {
+                            notes.push(format!(
+                                "coordinator drops risk crossing on busy node {i} (bug)"
+                            ));
+                        } else {
+                            self.set_pending(i, true);
+                            notes.push(format!("coordinator parks risk crossing on busy node {i}"));
+                        }
+                    } else {
+                        self.drive(i, LifecycleEvent::RiskCrossed)?;
+                    }
+                    notes.extend(self.schedule(cfg, bugs)?);
+                }
+                Stimulus::ValidationPasses(i) => {
+                    self.drive(i, LifecycleEvent::ValidationPassed)?;
+                    notes.extend(self.schedule(cfg, bugs)?);
+                }
+                Stimulus::ValidationFails(i) => {
+                    self.drive(i, LifecycleEvent::DefectConfirmed)?;
+                }
+                Stimulus::IncidentStrikes(i) => {
+                    self.incidents_left = self.incidents_left.saturating_sub(1);
+                    self.drive(i, LifecycleEvent::IncidentObserved)?;
+                    // The incident confirmed whatever risk was suspected.
+                    self.set_crossed(i, false);
+                    self.set_pending(i, false);
+                }
+                Stimulus::RepairFinishes(i) => {
+                    self.drive(i, LifecycleEvent::RepairCompleted)?;
+                    self.drive(i, LifecycleEvent::ReturnedToService)?;
+                    notes.extend(self.schedule(cfg, bugs)?);
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => StepOutcome::Ok(notes.join("; ")),
+            Err((property, detail)) => StepOutcome::Violated(property, detail),
+        }
+    }
+
+    /// Terminal-state check for eventual validation: with no stimulus
+    /// enabled, no node may still carry an unserviced crossing.
+    fn terminal_violation(&self) -> Option<(Property, String)> {
+        for (i, crossed) in self.crossed.iter().enumerate() {
+            if *crossed {
+                let state = self.lives.get(i).map_or("?", |l| l.state().name());
+                return Some((
+                    Property::EventualValidation,
+                    format!(
+                        "terminal state: node {i} crossed the risk threshold but was \
+                         never validated (final state `{state}`)"
+                    ),
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Reconstructs the stimulus sequence leading to `target` and replays it
+/// into a human-readable trace.
+fn replay_trace(
+    cfg: &ModelConfig,
+    bugs: &CoordinatorBugs,
+    pred: &BTreeMap<Vec<u8>, (Vec<u8>, Stimulus)>,
+    target: &[u8],
+    last: Option<Stimulus>,
+) -> Vec<String> {
+    let mut stimuli = VecDeque::new();
+    if let Some(s) = last {
+        stimuli.push_front(s);
+    }
+    let mut cursor = target.to_vec();
+    while let Some((prev, s)) = pred.get(&cursor) {
+        stimuli.push_front(*s);
+        cursor = prev.clone();
+    }
+    let mut model = Model::new(cfg);
+    let mut trace = vec![format!(
+        "initial: {} nodes healthy, floor {}, budgets: jobs {}, crossings {}, incidents {}",
+        cfg.nodes, cfg.min_in_service, cfg.jobs, cfg.risk_crossings, cfg.incidents
+    )];
+    for s in stimuli {
+        match model.step(s, cfg, bugs) {
+            StepOutcome::Ok(desc) => trace.push(desc),
+            StepOutcome::Violated(property, detail) => {
+                trace.push(format!("{s}; VIOLATION [{property}]: {detail}"));
+                break;
+            }
+        }
+    }
+    trace
+}
+
+/// Exhaustively enumerates every bounded interleaving of environment
+/// stimuli from the all-healthy initial state and checks the three
+/// coordinator properties.
+///
+/// Breadth-first over the reachable state graph, so a reported
+/// [`Violation`] carries a shortest counterexample trace. The budgets in
+/// `cfg` make the graph finite; a default-bug run over the issue's 3–5
+/// node grid explores a few thousand states in well under a second.
+///
+/// # Errors
+///
+/// Returns a description when `cfg` is unusable for checking: zero
+/// nodes, a floor not below the fleet size, or budgets so large the
+/// `u8` state encoding would alias.
+pub fn check_model(cfg: &ModelConfig, bugs: &CoordinatorBugs) -> Result<CheckOutcome, String> {
+    if cfg.nodes == 0 {
+        return Err("model needs at least one node".to_string());
+    }
+    if cfg.min_in_service >= cfg.nodes {
+        return Err(format!(
+            "capacity floor {} must be below the fleet size {}",
+            cfg.min_in_service, cfg.nodes
+        ));
+    }
+    if cfg.nodes > 8 || cfg.jobs > 200 || cfg.risk_crossings > 200 || cfg.incidents > 200 {
+        return Err("model bounds too large for exhaustive enumeration".to_string());
+    }
+
+    let initial = Model::new(cfg);
+    let mut visited: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut pred: BTreeMap<Vec<u8>, (Vec<u8>, Stimulus)> = BTreeMap::new();
+    let mut queue: VecDeque<Model> = VecDeque::new();
+    visited.insert(initial.encode());
+    queue.push_back(initial);
+    let mut transitions = 0usize;
+
+    while let Some(model) = queue.pop_front() {
+        let key = model.encode();
+        let enabled = model.enabled();
+        if enabled.is_empty() {
+            if let Some((property, detail)) = model.terminal_violation() {
+                return Ok(CheckOutcome {
+                    states_explored: visited.len(),
+                    transitions,
+                    violation: Some(Violation {
+                        property,
+                        detail: detail.clone(),
+                        trace: replay_trace(cfg, bugs, &pred, &key, None),
+                    }),
+                });
+            }
+            continue;
+        }
+        for s in enabled {
+            transitions = transitions.saturating_add(1);
+            let mut next = model.clone();
+            match next.step(s, cfg, bugs) {
+                StepOutcome::Ok(_) => {
+                    let next_key = next.encode();
+                    if visited.insert(next_key.clone()) {
+                        pred.insert(next_key, (key.clone(), s));
+                        queue.push_back(next);
+                    }
+                }
+                StepOutcome::Violated(property, detail) => {
+                    return Ok(CheckOutcome {
+                        states_explored: visited.len(),
+                        transitions,
+                        violation: Some(Violation {
+                            property,
+                            detail,
+                            trace: replay_trace(cfg, bugs, &pred, &key, Some(s)),
+                        }),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(CheckOutcome {
+        states_explored: visited.len(),
+        transitions,
+        violation: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize, floor: usize) -> ModelConfig {
+        ModelConfig {
+            nodes,
+            min_in_service: floor,
+            jobs: 2,
+            risk_crossings: 2,
+            incidents: 1,
+        }
+    }
+
+    #[test]
+    fn correct_coordinator_has_no_violation() {
+        for nodes in 3..=5 {
+            let outcome = check_model(&cfg(nodes, nodes - 2), &CoordinatorBugs::default()).unwrap();
+            assert!(
+                outcome.violation.is_none(),
+                "nodes={nodes}: {:?}",
+                outcome.violation
+            );
+            assert!(outcome.states_explored > 1);
+        }
+    }
+
+    #[test]
+    fn forgetting_pending_risk_breaks_eventual_validation() {
+        let bugs = CoordinatorBugs {
+            forget_pending_risk: true,
+            ..CoordinatorBugs::default()
+        };
+        let outcome = check_model(&cfg(3, 1), &bugs).unwrap();
+        let violation = outcome.violation.expect("expected a violation");
+        assert_eq!(violation.property, Property::EventualValidation);
+        assert!(!violation.trace.is_empty());
+        // The trace replays end-to-end from the initial state.
+        assert!(violation.trace.first().unwrap().starts_with("initial:"));
+    }
+
+    #[test]
+    fn validating_busy_nodes_is_caught_via_the_transition_table() {
+        let bugs = CoordinatorBugs {
+            validate_while_busy: true,
+            ..CoordinatorBugs::default()
+        };
+        let outcome = check_model(&cfg(3, 1), &bugs).unwrap();
+        let violation = outcome.violation.expect("expected a violation");
+        assert_eq!(violation.property, Property::NoValidationWhileServing);
+        assert!(violation.detail.contains("busy"), "{}", violation.detail);
+    }
+
+    #[test]
+    fn ignoring_the_floor_breaks_capacity() {
+        let bugs = CoordinatorBugs {
+            ignore_capacity_floor: true,
+            ..CoordinatorBugs::default()
+        };
+        let outcome = check_model(&cfg(3, 2), &bugs).unwrap();
+        let violation = outcome.violation.expect("expected a violation");
+        assert_eq!(violation.property, Property::CapacityFloor);
+    }
+
+    #[test]
+    fn counterexample_is_printable() {
+        let bugs = CoordinatorBugs {
+            ignore_capacity_floor: true,
+            ..CoordinatorBugs::default()
+        };
+        let outcome = check_model(&cfg(3, 2), &bugs).unwrap();
+        let text = outcome.violation.unwrap().to_string();
+        assert!(text.contains("counterexample trace"), "{text}");
+        assert!(text.contains("capacity-floor"), "{text}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(check_model(
+            &ModelConfig {
+                nodes: 0,
+                ..ModelConfig::default()
+            },
+            &CoordinatorBugs::default()
+        )
+        .is_err());
+        assert!(check_model(
+            &ModelConfig {
+                nodes: 3,
+                min_in_service: 3,
+                ..ModelConfig::default()
+            },
+            &CoordinatorBugs::default()
+        )
+        .is_err());
+        assert!(check_model(
+            &ModelConfig {
+                nodes: 9,
+                min_in_service: 1,
+                ..ModelConfig::default()
+            },
+            &CoordinatorBugs::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = check_model(&cfg(4, 2), &CoordinatorBugs::default()).unwrap();
+        let b = check_model(&cfg(4, 2), &CoordinatorBugs::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

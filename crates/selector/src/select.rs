@@ -4,6 +4,7 @@ use crate::coverage::CoverageTable;
 use crate::status::NodeStatus;
 use crate::survival::SurvivalModel;
 use anubis_benchsuite::BenchmarkId;
+use anubis_lifecycle::LifecycleEvent;
 
 /// Joint probability that at least one node in the set has an incident
 /// within `horizon` hours: `p = 1 − Π (1 − pₙ)`.
@@ -172,6 +173,21 @@ impl Selector {
         self.incident_probability(statuses, horizon) > self.config.p0
     }
 
+    /// Maps the risk decision onto the node-lifecycle machine: the event
+    /// the coordinator should apply to the nodes in this set —
+    /// [`LifecycleEvent::RiskCrossed`] when the joint incident probability
+    /// exceeds `p₀` (validation warranted), [`LifecycleEvent::RiskCleared`]
+    /// otherwise. Callers gate the application with
+    /// [`anubis_lifecycle::NodeLifecycle::can`]: `RiskCleared` is only
+    /// legal on a node that is currently suspect.
+    pub fn assess(&self, statuses: &[NodeStatus], horizon: f64) -> LifecycleEvent {
+        if self.should_validate(statuses, horizon) {
+            LifecycleEvent::RiskCrossed
+        } else {
+            LifecycleEvent::RiskCleared
+        }
+    }
+
     /// Selects a benchmark subset from the full suite for these nodes.
     pub fn select(&self, statuses: &[NodeStatus], horizon: f64) -> Vec<BenchmarkId> {
         select_benchmarks(
@@ -326,6 +342,34 @@ mod tests {
         let candidates = [BenchmarkId::GpuStress, BenchmarkId::CpuLatency];
         let selected = select_benchmarks(&model, &statuses(2), 24.0, &table, &candidates, 0.1);
         assert_eq!(selected.len(), 1);
+    }
+
+    #[test]
+    fn assess_maps_risk_onto_lifecycle_events() {
+        use anubis_lifecycle::NodeLifecycle;
+        let risky = Selector::new(
+            Box::new(risky_model()),
+            coverage(),
+            SelectorConfig::default(),
+        );
+        let safe = Selector::new(
+            Box::new(safe_model()),
+            coverage(),
+            SelectorConfig::default(),
+        );
+        let set = statuses(4);
+        assert_eq!(risky.assess(&set, 24.0), LifecycleEvent::RiskCrossed);
+        assert_eq!(safe.assess(&set, 24.0), LifecycleEvent::RiskCleared);
+
+        // The events drive the machine through the documented path: a
+        // crossing flags the node, a later clear releases it.
+        let mut life = NodeLifecycle::new();
+        life.apply(risky.assess(&set, 24.0)).unwrap();
+        assert!(life.state().is_suspect());
+        life.apply(safe.assess(&set, 24.0)).unwrap();
+        assert!(life.state().is_healthy());
+        // On a healthy node a clear is a no-op the caller must gate on.
+        assert!(!life.can(LifecycleEvent::RiskCleared));
     }
 
     #[test]

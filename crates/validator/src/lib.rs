@@ -31,7 +31,7 @@ pub use filter::{Criteria, DefectFilter};
 pub use history::CriteriaHistory;
 pub use repeatability::{benchmark_repeatability, repeatability_vs_criteria};
 pub use tuning::{search_step_window, select_shared_window, StepWindow, TuningError};
-pub use validator::{ValidationReport, Validator, ValidatorConfig};
+pub use validator::{TrackedValidationError, ValidationReport, Validator, ValidatorConfig};
 
 /// The paper's default similarity threshold α.
 pub const DEFAULT_ALPHA: f64 = 0.95;

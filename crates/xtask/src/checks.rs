@@ -36,6 +36,7 @@ pub const GATED_CRATES: &[&str] = &[
     "cluster",
     "hwsim",
     "netsim",
+    "lifecycle",
 ];
 
 /// Identifiers forbidden by the determinism invariant.

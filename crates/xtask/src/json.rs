@@ -273,4 +273,75 @@ mod tests {
         let v = parse("{\"s\":\"héllo→\"}").expect("valid");
         assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("héllo→"));
     }
+
+    #[test]
+    fn decodes_every_simple_escape() {
+        let v = parse(r#"{"s":"\"\\\/\n\r\t\b\f"}"#).expect("valid");
+        assert_eq!(
+            v.get("s").and_then(JsonValue::as_str),
+            Some("\"\\/\n\r\t\u{8}\u{c}")
+        );
+    }
+
+    #[test]
+    fn decodes_unicode_escapes_and_degrades_surrogates() {
+        let v = parse(r#"{"s":"Aé→"}"#).expect("valid");
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("Aé→"));
+        // A lone surrogate half never appears in our own writers' output;
+        // it decodes to U+FFFD instead of failing the whole document.
+        let v = parse(r#""\ud800""#).expect("valid");
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+        assert!(parse(r#""\u00"#).is_err(), "truncated \\u escape");
+        assert!(parse(r#""\u00zz""#).is_err(), "non-hex \\u escape");
+        assert!(parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn parses_nested_arrays_to_depth() {
+        let v = parse("[[1,[2,[3,[]]]],[4]]").expect("valid");
+        let JsonValue::Arr(outer) = &v else {
+            panic!("expected array, got {v:?}");
+        };
+        assert_eq!(outer.len(), 2);
+        let JsonValue::Arr(first) = &outer[0] else {
+            panic!("expected nested array");
+        };
+        assert_eq!(first[0].as_num(), Some(1.0));
+        let JsonValue::Arr(second) = &first[1] else {
+            panic!("expected nested array");
+        };
+        assert_eq!(second[0].as_num(), Some(2.0));
+        assert_eq!(
+            second[1],
+            JsonValue::Arr(vec![JsonValue::Num(3.0), JsonValue::Arr(Vec::new())])
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        for text in [
+            "",
+            "{",
+            "{\"k\"",
+            "{\"k\":",
+            "{\"k\":1",
+            "{\"k\":1,",
+            "[",
+            "[1",
+            "[1,",
+            "tru",
+            "-",
+            "\"\\",
+        ] {
+            assert!(parse(text).is_err(), "`{text}` must not parse");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_first_value() {
+        let v = parse(r#"{"k":1,"k":2,"other":3}"#).expect("valid");
+        assert_eq!(v.get("k").and_then(JsonValue::as_num), Some(1.0));
+        assert_eq!(v.get("other").and_then(JsonValue::as_num), Some(3.0));
+        assert_eq!(v.as_obj().map(BTreeMap::len), Some(2));
+    }
 }

@@ -22,6 +22,7 @@ pub mod checks;
 pub mod json;
 pub mod mask;
 pub mod model;
+pub mod modelcheck;
 pub mod passes;
 pub mod perf;
 pub mod profile;

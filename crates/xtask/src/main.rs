@@ -1,27 +1,39 @@
 //! `anubis-xtask` — workspace maintenance commands.
 //!
-//! Four subcommands:
+//! Five subcommands:
 //!
 //! ```text
-//! cargo xtask lint     [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]
-//! cargo xtask analyze  [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
-//! cargo xtask profile  [<trace.jsonl>] [--top <n>]
-//! cargo xtask perfgate [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>]
-//!                      [--print-baseline]
+//! cargo xtask lint       [--root <dir>] [--allowlist <file>] [--allow-unused-allowlist]
+//! cargo xtask analyze    [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
+//! cargo xtask modelcheck [--out <file>] [--threads <n>]
+//!                        [--bug <forget-risk|validate-busy|ignore-floor>]
+//! cargo xtask profile    [<trace.jsonl>] [--top <n>]
+//! cargo xtask perfgate   [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>]
+//!                        [--print-baseline]
 //! ```
 //!
 //! `lint` runs the line-level invariant checks of [`anubis_xtask::checks`]
 //! and exits `1` when violations remain after the allowlist (default:
-//! `lint-allowlist.txt` at the workspace root). With
-//! `--error-on-unused-allowlist` it also exits `1` when an allowlist entry
-//! no longer exempts anything, so stale entries get pruned.
+//! `lint-allowlist.txt` at the workspace root). Stale allowlist entries —
+//! ones that no longer exempt anything — also fail the run so they get
+//! pruned; `--allow-unused-allowlist` tolerates them during refactors
+//! (`--error-on-unused-allowlist` remains accepted as a no-op for older
+//! scripts).
 //!
 //! `analyze` runs the call-graph passes of [`anubis_xtask::passes`]
-//! (A001–A004) and compares the findings against the committed
+//! (A001–A005) and compares the findings against the committed
 //! `analysis-baseline.json`: only *regressions* — new finding keys or
 //! grown counts — fail the build. `--write-baseline` regenerates the
 //! baseline after intentional changes; `--json` writes a SARIF-style
-//! report for CI artifacts.
+//! report for CI artifacts. Findings under an *enforced* hot entry are
+//! hard failures the baseline never absorbs.
+//!
+//! `modelcheck` exhaustively enumerates the Selector/Validator
+//! coordination loop over small fleet models (see
+//! [`anubis_xtask::modelcheck`]) and exits `1` with a printed
+//! counterexample trace when a liveness/safety property is violated; the
+//! trace is also written to `--out` for CI artifacts. `--bug` injects a
+//! known coordinator defect to demonstrate the failure path.
 //!
 //! `profile` summarizes an `anubis-obs` trace (the repro binary's
 //! `--trace` output, default `target/trace.jsonl`): top-k hot spans by
@@ -34,7 +46,9 @@
 //! `BENCH_2.json`, writes `target/BENCH_CURRENT.json` for CI artifacts,
 //! and exits `1` when a tracked kernel regressed beyond the tolerance.
 
+use anubis_lifecycle::CoordinatorBugs;
 use anubis_xtask::model::Workspace;
+use anubis_xtask::modelcheck as mc;
 use anubis_xtask::passes::{run_analysis, AnalysisConfig};
 use anubis_xtask::perf;
 use anubis_xtask::profile::Profile;
@@ -43,17 +57,19 @@ use anubis_xtask::{run_lint_tracked, Allowlist};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask <lint|analyze|profile|perfgate>\n  \
-lint     [--root <dir>] [--allowlist <file>] [--error-on-unused-allowlist]\n  \
-analyze  [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]\n  \
-profile  [<trace.jsonl>] [--top <n>]\n  \
-perfgate [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>] [--print-baseline]";
+const USAGE: &str = "usage: cargo xtask <lint|analyze|modelcheck|profile|perfgate>\n  \
+lint       [--root <dir>] [--allowlist <file>] [--allow-unused-allowlist]\n  \
+analyze    [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]\n  \
+modelcheck [--out <file>] [--threads <n>] [--bug <forget-risk|validate-busy|ignore-floor>]\n  \
+profile    [<trace.jsonl>] [--top <n>]\n  \
+perfgate   [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>] [--print-baseline]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("modelcheck") => modelcheck(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("perfgate") => perfgate(&args[1..]),
         Some(other) => {
@@ -77,12 +93,18 @@ fn default_root() -> PathBuf {
 fn lint(args: &[String]) -> ExitCode {
     let mut root = default_root();
     let mut allowlist_path: Option<PathBuf> = None;
-    let mut error_on_unused = false;
+    let mut error_on_unused = true;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
+            // Stale entries fail by default; kept as an accepted no-op so
+            // older scripts and CI configurations don't break.
             "--error-on-unused-allowlist" => {
                 error_on_unused = true;
+                continue;
+            }
+            "--allow-unused-allowlist" => {
+                error_on_unused = false;
                 continue;
             }
             "--root" => match iter.next() {
@@ -201,6 +223,13 @@ fn analyze(args: &[String]) -> ExitCode {
     };
     let findings = run_analysis(&ws, &AnalysisConfig::default());
     let current = Baseline::from_findings(&findings);
+    // Enforced findings (allocations under an enforced hot entry) are
+    // hard failures: the baseline excludes them by construction, so not
+    // even --write-baseline can absorb one.
+    let enforced: Vec<_> = findings.iter().filter(|f| f.enforced).collect();
+    for finding in &enforced {
+        println!("{finding} [enforced]");
+    }
 
     if write_baseline {
         if let Err(error) = std::fs::write(&baseline_path, current.to_json()) {
@@ -213,6 +242,13 @@ fn analyze(args: &[String]) -> ExitCode {
             current.findings.len(),
             findings.len()
         );
+        if !enforced.is_empty() {
+            println!(
+                "analyze: {} enforced finding(s) remain hard failures",
+                enforced.len()
+            );
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -259,16 +295,78 @@ fn analyze(args: &[String]) -> ExitCode {
         );
     }
     println!(
-        "analyze: {} finding(s), {} baselined key(s), {} new",
+        "analyze: {} finding(s), {} baselined key(s), {} new, {} enforced",
         findings.len(),
         baseline.findings.len(),
-        regressions.len()
+        regressions.len(),
+        enforced.len()
     );
-    if regressions.is_empty() {
+    if regressions.is_empty() && enforced.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn modelcheck(args: &[String]) -> ExitCode {
+    let mut out_path: Option<PathBuf> = None;
+    let mut threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let mut bugs = CoordinatorBugs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--out" => match iter.next() {
+                Some(value) => out_path = Some(PathBuf::from(value)),
+                None => return usage_error(flag),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) if value > 0 => threads = value,
+                _ => return usage_error(flag),
+            },
+            "--bug" => match iter.next().map(String::as_str) {
+                Some("forget-risk") => bugs.forget_pending_risk = true,
+                Some("validate-busy") => bugs.validate_while_busy = true,
+                Some("ignore-floor") => bugs.ignore_capacity_floor = true,
+                _ => return usage_error(flag),
+            },
+            _ => return usage_error(flag),
+        }
+    }
+    let out_path =
+        out_path.unwrap_or_else(|| default_root().join("target").join("modelcheck-trace.txt"));
+
+    let grid = mc::default_grid();
+    let results = match mc::check_grid(&grid, bugs, threads) {
+        Ok(results) => results,
+        Err(error) => {
+            eprintln!("modelcheck failed: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = mc::render(&results);
+    print!("{report}");
+    let states: usize = results.iter().map(|r| r.outcome.states_explored).sum();
+    let transitions: usize = results.iter().map(|r| r.outcome.transitions).sum();
+    println!(
+        "modelcheck: {} configuration(s), {states} state(s), {transitions} transition(s) total",
+        results.len()
+    );
+    if mc::first_violation(&results).is_some() {
+        if let Some(parent) = out_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(error) = std::fs::write(&out_path, &report) {
+            eprintln!("cannot write {}: {error}", out_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "modelcheck: counterexample written to {}",
+            out_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("modelcheck: all properties hold on every configuration");
+    ExitCode::SUCCESS
 }
 
 fn profile(args: &[String]) -> ExitCode {

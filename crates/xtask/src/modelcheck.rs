@@ -1,0 +1,202 @@
+//! `cargo xtask modelcheck` — exhaustive verification of the
+//! Selector/Validator coordination loop.
+//!
+//! Drives [`anubis_lifecycle::check_model`] over a grid of small fleet
+//! configurations (3–5 nodes, bounded job/risk/incident budgets) and
+//! reports the first counterexample, if any. The enumerator explores
+//! *every* reachable interleaving of the bounded event streams, so a pass
+//! is a proof over the model — not a sampled test — that:
+//!
+//! 1. every node whose incident probability crosses the threshold is
+//!    eventually validated (`eventual-validation`);
+//! 2. no validation is scheduled on a node serving a job
+//!    (`no-validation-while-serving`);
+//! 3. quarantine never drops the fleet below the capacity floor
+//!    (`capacity-floor`);
+//!
+//! plus the meta-property that every state change the coordinator makes
+//! is a legal `transition` (`transition-discipline`).
+//!
+//! Configurations run concurrently on the deterministic executor
+//! ([`anubis_parallel::map_items`]), so the output ordering — and any
+//! counterexample found — is independent of thread count. The `--bug`
+//! flag injects a known coordinator defect to demonstrate the failure
+//! path end to end: the command prints the counterexample trace, writes
+//! it to `--out`, and exits nonzero.
+
+use anubis_lifecycle::{check_model, CheckOutcome, CoordinatorBugs, ModelConfig};
+use anubis_parallel::map_items;
+use std::fmt::Write as _;
+
+/// The verification grid: exhaustive budgets on 3-node fleets, reduced
+/// budgets as the node count (and per-node state fan-out) grows. Sized to
+/// finish in seconds while still covering both floor regimes (slack and
+/// tight) at every fleet size.
+pub fn default_grid() -> Vec<ModelConfig> {
+    vec![
+        // 3 nodes, full budgets, slack floor.
+        ModelConfig {
+            nodes: 3,
+            min_in_service: 1,
+            jobs: 3,
+            risk_crossings: 3,
+            incidents: 2,
+        },
+        // 3 nodes, tight floor: scheduling must defer validations.
+        ModelConfig {
+            nodes: 3,
+            min_in_service: 2,
+            jobs: 3,
+            risk_crossings: 3,
+            incidents: 2,
+        },
+        ModelConfig {
+            nodes: 4,
+            min_in_service: 2,
+            jobs: 3,
+            risk_crossings: 3,
+            incidents: 2,
+        },
+        ModelConfig {
+            nodes: 4,
+            min_in_service: 3,
+            jobs: 2,
+            risk_crossings: 3,
+            incidents: 1,
+        },
+        ModelConfig {
+            nodes: 5,
+            min_in_service: 3,
+            jobs: 2,
+            risk_crossings: 2,
+            incidents: 2,
+        },
+        ModelConfig {
+            nodes: 5,
+            min_in_service: 4,
+            jobs: 2,
+            risk_crossings: 2,
+            incidents: 1,
+        },
+    ]
+}
+
+/// One configuration's verification result.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// The configuration checked.
+    pub config: ModelConfig,
+    /// What the enumerator found.
+    pub outcome: CheckOutcome,
+}
+
+/// Checks every configuration in `configs` under `bugs`, in parallel.
+///
+/// # Errors
+///
+/// Returns the enumerator's own error (invalid configuration) verbatim;
+/// property violations are *not* errors — they come back inside
+/// [`CheckOutcome::violation`].
+pub fn check_grid(
+    configs: &[ModelConfig],
+    bugs: CoordinatorBugs,
+    threads: usize,
+) -> Result<Vec<ConfigResult>, String> {
+    let outcomes = map_items(configs, threads, |config| check_model(config, &bugs));
+    configs
+        .iter()
+        .zip(outcomes)
+        .map(|(config, outcome)| {
+            outcome.map(|outcome| ConfigResult {
+                config: *config,
+                outcome,
+            })
+        })
+        .collect()
+}
+
+/// Renders the human-readable report: one line per configuration plus the
+/// first counterexample in full, if any.
+pub fn render(results: &[ConfigResult]) -> String {
+    let mut out = String::new();
+    for result in results {
+        let ModelConfig {
+            nodes,
+            min_in_service,
+            jobs,
+            risk_crossings,
+            incidents,
+        } = result.config;
+        let verdict = if result.outcome.violation.is_some() {
+            "VIOLATED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "modelcheck: nodes={nodes} floor={min_in_service} jobs={jobs} \
+             risks={risk_crossings} incidents={incidents}: {} state(s), {} transition(s) — {verdict}",
+            result.outcome.states_explored, result.outcome.transitions,
+        );
+    }
+    if let Some(result) = results.iter().find(|r| r.outcome.violation.is_some()) {
+        if let Some(violation) = &result.outcome.violation {
+            let _ = writeln!(out, "\n{violation}");
+        }
+    }
+    out
+}
+
+/// The first violation across the grid, if any.
+pub fn first_violation(results: &[ConfigResult]) -> Option<&ConfigResult> {
+    results.iter().find(|r| r.outcome.violation.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anubis_lifecycle::Property;
+
+    #[test]
+    fn the_default_grid_verifies_clean() {
+        // The smoke subset: full grids run in the CLI / CI. Two
+        // configurations cover both floor regimes.
+        let grid = &default_grid()[..2];
+        let results = check_grid(grid, CoordinatorBugs::default(), 2).expect("valid configs");
+        assert!(first_violation(&results).is_none(), "{}", render(&results));
+        assert!(results.iter().all(|r| r.outcome.states_explored > 100));
+    }
+
+    #[test]
+    fn an_injected_bug_produces_a_rendered_counterexample() {
+        let grid = &default_grid()[..1];
+        let bugs = CoordinatorBugs {
+            validate_while_busy: true,
+            ..CoordinatorBugs::default()
+        };
+        let results = check_grid(grid, bugs, 2).expect("valid configs");
+        let bad = first_violation(&results).expect("bug must be caught");
+        let violation = bad.outcome.violation.as_ref().expect("violation");
+        assert_eq!(violation.property, Property::NoValidationWhileServing);
+        let rendered = render(&results);
+        assert!(rendered.contains("VIOLATED"), "{rendered}");
+        assert!(rendered.contains("counterexample trace"), "{rendered}");
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let grid = &default_grid()[..2];
+        let one = check_grid(grid, CoordinatorBugs::default(), 1).expect("valid");
+        let four = check_grid(grid, CoordinatorBugs::default(), 4).expect("valid");
+        assert_eq!(render(&one), render(&four));
+    }
+
+    #[test]
+    fn invalid_configurations_surface_as_errors() {
+        let bad = ModelConfig {
+            nodes: 0,
+            ..ModelConfig::default()
+        };
+        assert!(check_grid(&[bad], CoordinatorBugs::default(), 1).is_err());
+    }
+}

@@ -35,27 +35,34 @@ const ALLOC_QUALIFIED: &[(&str, &str)] = &[
 ];
 
 /// Runs the pass: flags allocations in every function reachable from a
-/// hot entry point.
+/// hot entry point. Findings reachable from an *enforced* entry are
+/// marked [`Finding::enforced`] and become hard failures downstream.
 pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Finding> {
-    let roots: Vec<usize> = ws
-        .fns
-        .iter()
-        .enumerate()
-        .filter(|(_, item)| {
-            !item.in_test
-                && config.hot_entries.iter().any(|(path_sub, name)| {
-                    item.name == *name && ws.files[item.file].path.contains(path_sub.as_str())
-                })
-        })
-        .map(|(i, _)| i)
-        .collect();
+    let entry_fns = |enforced_only: bool| -> Vec<usize> {
+        ws.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| {
+                !item.in_test
+                    && config.hot_entries.iter().any(|entry| {
+                        (!enforced_only || entry.enforce)
+                            && item.name == entry.func
+                            && ws.files[item.file].path.contains(entry.path.as_str())
+                    })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let roots = entry_fns(false);
     let reach = graph.reach(&roots);
+    let enforced_reach = graph.reach(&entry_fns(true));
 
     let mut findings = Vec::new();
     for (index, item) in ws.fns.iter().enumerate() {
         if item.in_test || reach.dist[index] == usize::MAX {
             continue;
         }
+        let enforced = enforced_reach.dist[index] != usize::MAX;
         // Path from the nearest hot entry down to this function.
         let mut entry_path = reach.path_from(index);
         entry_path.reverse();
@@ -89,6 +96,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
                         "`{kind}` allocates in `{}`, reachable from hot entry via {via}",
                         item.qual_name()
                     ),
+                    enforced,
                 });
             }
         }
@@ -121,6 +129,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
                         token.text,
                         item.qual_name()
                     ),
+                    enforced,
                 });
                 continue;
             }
@@ -139,6 +148,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
                         token.text,
                         item.qual_name()
                     ),
+                    enforced,
                 });
             }
         }
@@ -153,15 +163,24 @@ mod tests {
     use crate::model::Workspace;
 
     fn analyze(files: &[(&str, &str)], entries: &[(&str, &str)]) -> Vec<Finding> {
+        analyze_entries(
+            files,
+            &entries
+                .iter()
+                .map(|(p, f)| super::super::HotEntry::tracked(p, f))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn analyze_entries(files: &[(&str, &str)], entries: &[super::super::HotEntry]) -> Vec<Finding> {
         let ws = Workspace::from_sources(files.iter().copied());
         let graph = CallGraph::build(&ws);
         let config = AnalysisConfig {
             gated_crates: Vec::new(),
-            hot_entries: entries
-                .iter()
-                .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
-                .collect(),
+            hot_entries: entries.to_vec(),
             timing_facades: Vec::new(),
+            lifecycle_crates: Vec::new(),
+            state_types: Vec::new(),
         };
         run(&ws, &graph, &config)
     }
@@ -193,6 +212,31 @@ mod tests {
             &[("nn/src/mlp.rs", "forward_into")],
         );
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn enforced_entries_mark_their_reach_enforced() {
+        use super::super::HotEntry;
+        let files = [(
+            "crates/nn/src/mlp.rs",
+            "pub fn forward_into(x: &[f64]) { helper(x); }\n\
+             pub fn cold_path(x: &[f64]) { helper(x); }\n\
+             fn helper(x: &[f64]) { let _y = x.to_vec(); }\n",
+        )];
+        // Tracked entry only: finding is not enforced.
+        let tracked = analyze_entries(&files, &[HotEntry::tracked("nn/src/mlp.rs", "cold_path")]);
+        assert_eq!(tracked.len(), 1);
+        assert!(!tracked[0].enforced);
+        // An enforced entry sharing the callee upgrades the finding.
+        let findings = analyze_entries(
+            &files,
+            &[
+                HotEntry::tracked("nn/src/mlp.rs", "cold_path"),
+                HotEntry::enforced("nn/src/mlp.rs", "forward_into"),
+            ],
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].enforced, "{findings:#?}");
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
                     "`{}` iterates a std hash container; iteration order is randomized per process — use BTreeMap/BTreeSet or sort before output",
                     item.qual_name()
                 ),
+                enforced: false,
             });
         }
 
@@ -115,6 +116,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
                     func: item.qual_name(),
                     kind: "time-source".to_owned(),
                     message,
+                    enforced: false,
                 });
                 break; // One time-source finding per function.
             }

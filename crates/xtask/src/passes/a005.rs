@@ -1,0 +1,240 @@
+//! A005 — lifecycle transition discipline.
+//!
+//! The node-lifecycle state machine (`anubis-lifecycle`) is only a proof
+//! surface if **every** state change goes through its single
+//! `transition` function. This pass enforces that lexically: outside the
+//! lifecycle crates ([`AnalysisConfig::lifecycle_crates`]), no workspace
+//! function may *name a variant of* a state type
+//! ([`AnalysisConfig::state_types`], default `NodeState`) or take one by
+//! mutable reference. Consumers read states through the predicate methods
+//! (`is_healthy()`, `in_service()`, …) and change them by feeding
+//! `LifecycleEvent`s to `NodeLifecycle::apply`; naming `NodeState::…`
+//! anywhere else is how hand-rolled transitions start.
+//!
+//! Two finding kinds:
+//!
+//! - `construct` — a `NodeState::Variant` path expression (construction
+//!   or variant pattern) outside the machine;
+//! - `mut-param` — a function parameter whose type mutably borrows a
+//!   state (`&mut NodeState`, `&mut Vec<NodeState>`, …), the signature of
+//!   out-of-band mutation.
+//!
+//! When the offending function is reachable from a gated public API, the
+//! message carries the call path so reviewers can see the blast radius.
+//! The committed baseline holds **zero** A005 entries; any finding is a
+//! regression.
+
+use super::{is_gated_public_root, path_string, AnalysisConfig, Finding};
+use crate::callgraph::CallGraph;
+use crate::model::{TokenKind, Workspace};
+use crate::spans::in_test_span;
+
+/// Runs the pass over every non-lifecycle crate.
+pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Finding> {
+    if config.state_types.is_empty() {
+        return Vec::new();
+    }
+    let roots: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| is_gated_public_root(ws, i, config))
+        .collect();
+    let reach = graph.reach(&roots);
+    // Renders "; reachable from public entry via a -> b" for functions a
+    // public gated API can reach, so the finding shows its blast radius.
+    let via = |fn_index: Option<usize>| -> String {
+        let Some(index) = fn_index else {
+            return String::new();
+        };
+        if reach.dist[index] == usize::MAX {
+            return String::new();
+        }
+        let mut path = reach.path_from(index);
+        path.reverse();
+        format!(
+            "; reachable from public entry via {}",
+            path_string(ws, &path)
+        )
+    };
+
+    let mut findings = Vec::new();
+    for (file_index, file) in ws.files.iter().enumerate() {
+        if config.lifecycle_crates.contains(&file.crate_name) {
+            continue;
+        }
+        let file_fns: Vec<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| item.file == file_index)
+            .map(|(i, _)| i)
+            .collect();
+        // Innermost owner of a token, for attribution; tokens outside any
+        // function body (consts, statics) attribute to `<module>`.
+        let owner_of = |token_index: usize| -> Option<usize> {
+            file_fns
+                .iter()
+                .copied()
+                .find(|&fi| ws.fns[fi].owned.iter().any(|r| r.contains(&token_index)))
+        };
+
+        for (i, token) in file.tokens.iter().enumerate() {
+            if token.kind != TokenKind::Ident || !config.state_types.contains(&token.text) {
+                continue;
+            }
+            let variant = file
+                .tokens
+                .get(i + 1)
+                .filter(|t| t.text == "::")
+                .and_then(|_| file.tokens.get(i + 2))
+                .filter(|t| t.kind == TokenKind::Ident);
+            let Some(variant) = variant else {
+                continue; // Type position (`-> NodeState`, `use …::NodeState`) is a read.
+            };
+            let line = file.masked.line_of(token.offset);
+            let owner = owner_of(i);
+            let in_test =
+                owner.map_or_else(|| in_test_span(&file.spans, line), |fi| ws.fns[fi].in_test);
+            if in_test {
+                continue;
+            }
+            let func = owner.map_or_else(|| "<module>".to_owned(), |fi| ws.fns[fi].qual_name());
+            findings.push(Finding {
+                code: "A005",
+                path: file.path.clone(),
+                line,
+                func: func.clone(),
+                kind: "construct".to_owned(),
+                message: format!(
+                    "`{}::{}` names a lifecycle state outside the machine in `{func}`; \
+                     route state changes through `anubis_lifecycle::transition` and reads \
+                     through the predicate methods{}",
+                    token.text,
+                    variant.text,
+                    via(owner),
+                ),
+                enforced: false,
+            });
+        }
+
+        for &fi in &file_fns {
+            let item = &ws.fns[fi];
+            if item.in_test {
+                continue;
+            }
+            for param in &item.params {
+                let words: Vec<&str> = param.type_text.split_whitespace().collect();
+                let names_state = config
+                    .state_types
+                    .iter()
+                    .any(|t| words.contains(&t.as_str()));
+                if !(names_state && words.contains(&"mut")) {
+                    continue;
+                }
+                findings.push(Finding {
+                    code: "A005",
+                    path: file.path.clone(),
+                    line: item.line,
+                    func: item.qual_name(),
+                    kind: "mut-param".to_owned(),
+                    message: format!(
+                        "`{}` takes `{}: {}` — a mutable borrow of a lifecycle state outside \
+                         the machine; pass a `NodeLifecycle` and apply events instead{}",
+                        item.qual_name(),
+                        param.name,
+                        param.type_text,
+                        via(Some(fi)),
+                    ),
+                    enforced: false,
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::model::Workspace;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::from_sources(files.iter().copied());
+        let graph = CallGraph::build(&ws);
+        let config = AnalysisConfig {
+            gated_crates: vec!["cluster".to_owned()],
+            hot_entries: Vec::new(),
+            timing_facades: Vec::new(),
+            lifecycle_crates: vec!["lifecycle".to_owned()],
+            state_types: vec!["NodeState".to_owned()],
+        };
+        run(&ws, &graph, &config)
+    }
+
+    #[test]
+    fn variant_path_outside_lifecycle_is_flagged_with_public_path() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "pub fn entry() { helper(); }\n\
+             fn helper() { let _s = NodeState::Healthy; }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].kind, "construct");
+        assert_eq!(findings[0].func, "helper");
+        assert!(
+            findings[0].message.contains("entry -> helper"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn the_lifecycle_crate_itself_is_exempt() {
+        let findings = analyze(&[(
+            "crates/lifecycle/src/machine.rs",
+            "pub fn transition() { let _s = NodeState::Healthy; }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn mut_state_parameter_is_flagged() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "pub fn poke(state: &mut NodeState) { let _ = state; }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].kind, "mut-param");
+        assert!(findings[0].message.contains("`state: & mut NodeState`"));
+    }
+
+    #[test]
+    fn type_position_and_reads_are_allowed() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "use anubis_lifecycle::NodeState;\n\
+             pub fn peek(state: NodeState) -> NodeState { state }\n\
+             pub fn shown(states: &[NodeState]) -> usize { states.len() }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn module_level_construction_attributes_to_module() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "pub const BOOT: NodeState = NodeState::Healthy;\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].func, "<module>");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings = analyze(&[(
+            "crates/cluster/src/lib.rs",
+            "pub fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn check() { let _s = NodeState::Suspect; }\n}\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

@@ -10,15 +10,22 @@
 //! | A002 | [`a002`] | Where are floats compared or ordered NaN-unsafely? |
 //! | A003 | [`a003`] | What allocates inside the measured hot paths? |
 //! | A004 | [`a004`] | Where can nondeterminism leak into results? |
+//! | A005 | [`a005`] | Who constructs or mutates a lifecycle state outside the machine? |
 //!
 //! Findings are keyed by *(code, file, function, kind)* — deliberately not
 //! by line — so the committed baseline survives unrelated edits to the
 //! same file. Identical keys are aggregated by count in the baseline.
+//!
+//! Findings reachable from an *enforced* hot entry
+//! ([`HotEntry::enforced`]) are marked [`Finding::enforced`]; those are
+//! hard failures — the baseline never absorbs them (see
+//! [`crate::report::Baseline::from_findings`]).
 
 pub mod a001;
 pub mod a002;
 pub mod a003;
 pub mod a004;
+pub mod a005;
 
 use crate::callgraph::CallGraph;
 use crate::checks::GATED_CRATES;
@@ -42,6 +49,9 @@ pub struct Finding {
     /// Human-readable explanation, including the call path where the pass
     /// computes one.
     pub message: String,
+    /// `true` when the finding sits on an enforced hot entry's reach: it
+    /// is a hard failure the baseline never absorbs.
+    pub enforced: bool,
 }
 
 impl Finding {
@@ -62,60 +72,110 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One A003 hot entry point: the function whose forward reach is scanned
+/// for allocations, plus whether its findings are enforced (hard failure)
+/// or merely tracked against the baseline.
+#[derive(Debug, Clone)]
+pub struct HotEntry {
+    /// Path substring selecting the file (`nn/src/mlp.rs`).
+    pub path: String,
+    /// Function name (`forward_into`).
+    pub func: String,
+    /// `true` makes every allocation reachable from this entry a hard
+    /// failure instead of a baseline-tracked finding.
+    pub enforce: bool,
+}
+
+impl HotEntry {
+    /// A baseline-tracked entry: new allocations regress the baseline but
+    /// existing ones are tolerated.
+    pub fn tracked(path: &str, func: &str) -> Self {
+        Self {
+            path: path.to_owned(),
+            func: func.to_owned(),
+            enforce: false,
+        }
+    }
+
+    /// An enforced entry: *any* allocation in its reach fails the run,
+    /// baseline or not. Reserve for kernels already proven allocation-free.
+    pub fn enforced(path: &str, func: &str) -> Self {
+        Self {
+            path: path.to_owned(),
+            func: func.to_owned(),
+            enforce: true,
+        }
+    }
+}
+
 /// Tunable inputs of an analysis run. [`AnalysisConfig::default`] matches
 /// the real workspace; fixtures construct custom configs.
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
     /// Crate directory names whose public APIs are A001/A004 roots.
     pub gated_crates: Vec<String>,
-    /// Hot entry points for A003 as `(path substring, fn name)` pairs.
-    pub hot_entries: Vec<(String, String)>,
+    /// Hot entry points for A003.
+    pub hot_entries: Vec<HotEntry>,
     /// Crate directory names sanctioned to read the wall clock — the
     /// observability facade (`anubis-obs`, which confines `Instant` to a
     /// feature-gated module). A004's time-source scan skips these; every
     /// other crate must go through the facade.
     pub timing_facades: Vec<String>,
+    /// Crate directory names that own the node-lifecycle state machine.
+    /// A005 exempts them; everywhere else, constructing or mutating a
+    /// state type is a finding.
+    pub lifecycle_crates: Vec<String>,
+    /// Type names whose variants/values only the lifecycle crates may
+    /// construct or mutate (`NodeState`).
+    pub state_types: Vec<String>,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        let hot = [
+        let hot = vec![
             // Cox-Time gradient accumulation (chunk closures are owned by
             // `fit`, so scanning from it covers the chunk bodies too).
-            ("selector/src/coxtime.rs", "fit"),
-            // CDF similarity matrix and its integration kernel.
-            ("metrics/src/distance.rs", "pairwise_similarity_matrix"),
-            (
+            HotEntry::tracked("selector/src/coxtime.rs", "fit"),
+            // CDF similarity matrix and its integration kernel. The
+            // integration kernel is proven allocation-free (PR 2); keep it
+            // that way unconditionally.
+            HotEntry::tracked("metrics/src/distance.rs", "pairwise_similarity_matrix"),
+            HotEntry::tracked(
                 "metrics/src/distance.rs",
                 "pairwise_similarity_matrix_threads",
             ),
-            ("metrics/src/distance.rs", "upper_triangle_similarities"),
-            ("metrics/src/distance.rs", "integrate_ecdf"),
-            // MLP forward/backward and the optimizer step.
-            ("nn/src/mlp.rs", "forward_into"),
-            ("nn/src/mlp.rs", "forward_scalar_into"),
-            ("nn/src/mlp.rs", "backward_flat"),
-            ("nn/src/adam.rs", "step_flat"),
+            HotEntry::tracked("metrics/src/distance.rs", "upper_triangle_similarities"),
+            HotEntry::enforced("metrics/src/distance.rs", "integrate_ecdf"),
+            // MLP forward/backward and the optimizer step: the PR 2 hoist
+            // left the kernels allocation-free, so the ones whose reach is
+            // free of name-collision edges are enforced. The two forward
+            // kernels stay tracked: their `forward` callee name-matches
+            // unrelated `forward`/`apply` methods that carry baseline
+            // allocations, and the over-approximating graph must keep
+            // those edges (see crate::callgraph).
+            HotEntry::tracked("nn/src/mlp.rs", "forward_into"),
+            HotEntry::tracked("nn/src/mlp.rs", "forward_scalar_into"),
+            HotEntry::enforced("nn/src/mlp.rs", "backward_flat"),
+            HotEntry::enforced("nn/src/adam.rs", "step_flat"),
             // Deterministic parallel executor: every chunk body runs here.
-            ("parallel/src/lib.rs", "execute"),
-            ("parallel/src/lib.rs", "map_chunks"),
-            ("parallel/src/lib.rs", "map_chunks_mut"),
-            ("parallel/src/lib.rs", "map_items"),
-            ("parallel/src/lib.rs", "map_indexed"),
-            ("parallel/src/lib.rs", "reduce_chunks"),
+            HotEntry::tracked("parallel/src/lib.rs", "execute"),
+            HotEntry::tracked("parallel/src/lib.rs", "map_chunks"),
+            HotEntry::tracked("parallel/src/lib.rs", "map_chunks_mut"),
+            HotEntry::tracked("parallel/src/lib.rs", "map_items"),
+            HotEntry::tracked("parallel/src/lib.rs", "map_indexed"),
+            HotEntry::tracked("parallel/src/lib.rs", "reduce_chunks"),
         ];
         Self {
             gated_crates: GATED_CRATES.iter().map(|c| (*c).to_owned()).collect(),
-            hot_entries: hot
-                .iter()
-                .map(|(p, f)| ((*p).to_owned(), (*f).to_owned()))
-                .collect(),
+            hot_entries: hot,
             timing_facades: vec!["obs".to_owned()],
+            lifecycle_crates: vec!["lifecycle".to_owned()],
+            state_types: vec!["NodeState".to_owned()],
         }
     }
 }
 
-/// Runs all four passes and returns findings sorted by (code, path, line,
+/// Runs all five passes and returns findings sorted by (code, path, line,
 /// kind, func) — a deterministic order suitable for diffing.
 pub fn run_analysis(ws: &Workspace, config: &AnalysisConfig) -> Vec<Finding> {
     let graph = CallGraph::build(ws);
@@ -123,6 +183,7 @@ pub fn run_analysis(ws: &Workspace, config: &AnalysisConfig) -> Vec<Finding> {
     findings.extend(a002::run(ws));
     findings.extend(a003::run(ws, &graph, config));
     findings.extend(a004::run(ws, &graph, config));
+    findings.extend(a005::run(ws, &graph, config));
     findings.sort_by(|a, b| {
         (a.code, &a.path, a.line, &a.kind, &a.func)
             .cmp(&(b.code, &b.path, b.line, &b.kind, &b.func))

@@ -42,10 +42,12 @@ pub struct Regression {
 }
 
 impl Baseline {
-    /// Aggregates findings into key counts.
+    /// Aggregates findings into key counts. Enforced findings are
+    /// excluded: they are hard failures the baseline must never absorb,
+    /// so `--write-baseline` cannot launder them into acceptance.
     pub fn from_findings(findings: &[Finding]) -> Self {
         let mut map: BTreeMap<String, usize> = BTreeMap::new();
-        for finding in findings {
+        for finding in findings.iter().filter(|f| !f.enforced) {
             *map.entry(finding.key()).or_insert(0) += 1;
         }
         Self { findings: map }
@@ -162,6 +164,10 @@ const RULES: &[(&str, &str)] = &[
     ("A002", "NaN-unsafe float comparison or ordering"),
     ("A003", "Allocation reachable from a hot entry point"),
     ("A004", "Nondeterminism can leak into results"),
+    (
+        "A005",
+        "Lifecycle state constructed or mutated outside the transition function",
+    ),
 ];
 
 /// Renders findings as a SARIF-like report. Baselined findings carry
@@ -182,8 +188,9 @@ pub fn to_sarif(findings: &[Finding], baseline: &Baseline) -> String {
     out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
     for (i, finding) in findings.iter().enumerate() {
         let key = finding.key();
-        let baselined = baseline.findings.get(&key).copied().unwrap_or(0)
-            >= current.findings.get(&key).copied().unwrap_or(0);
+        let baselined = !finding.enforced
+            && baseline.findings.get(&key).copied().unwrap_or(0)
+                >= current.findings.get(&key).copied().unwrap_or(0);
         let level = if baselined { "note" } else { "error" };
         let comma = if i + 1 < findings.len() { "," } else { "" };
         let _ = writeln!(
@@ -319,7 +326,26 @@ mod tests {
             func: func.to_owned(),
             kind: kind.to_owned(),
             message: format!("message for {func}"),
+            enforced: false,
         }
+    }
+
+    #[test]
+    fn enforced_findings_never_enter_the_baseline() {
+        let mut enforced = finding("A003", "crates/nn/src/mlp.rs", "forward_into", "clone");
+        enforced.enforced = true;
+        let tracked = finding("A003", "crates/nn/src/mlp.rs", "other", "clone");
+        let baseline = Baseline::from_findings(&[enforced.clone(), tracked]);
+        assert_eq!(baseline.findings.len(), 1);
+        assert!(!baseline
+            .findings
+            .contains_key("A003 crates/nn/src/mlp.rs forward_into clone"));
+        // SARIF reports enforced findings as errors even when an old
+        // baseline happens to list their key.
+        let mut old = Baseline::default();
+        old.findings.insert(enforced.key(), 1);
+        let sarif = to_sarif(&[enforced], &old);
+        assert!(sarif.contains("\"level\": \"error\""));
     }
 
     #[test]

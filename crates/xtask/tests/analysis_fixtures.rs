@@ -74,6 +74,22 @@ fn a004_fixture_reports_hash_iteration() {
 }
 
 #[test]
+fn a005_fixture_reports_out_of_band_state_construction() {
+    let findings = analyze_fixture("a005");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A005");
+    assert_eq!(f.path, "crates/cluster/src/lib.rs");
+    assert_eq!(f.func, "mark_suspect");
+    assert_eq!(f.kind, "construct");
+    assert!(
+        f.message.contains("allocate -> mark_suspect"),
+        "call path from public entry missing: {}",
+        f.message
+    );
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     let findings = analyze_fixture("clean");
     assert!(findings.is_empty(), "findings: {findings:#?}");

@@ -1,0 +1,12 @@
+//! A005 fixture: a hand-rolled lifecycle transition outside the machine.
+
+/// Gated public entry whose helper constructs a state by hand.
+pub fn allocate() -> bool {
+    mark_suspect()
+}
+
+fn mark_suspect() -> bool {
+    let state = NodeState::Suspect;
+    let _ = state;
+    true
+}

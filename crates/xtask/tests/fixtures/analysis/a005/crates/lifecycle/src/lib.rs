@@ -1,0 +1,17 @@
+//! A005 fixture: the machine itself may name states freely.
+
+/// Lifecycle state (fixture copy).
+pub enum NodeState {
+    /// In service.
+    Healthy,
+    /// Risk crossed the threshold.
+    Suspect,
+}
+
+/// The single transition function: state construction is legal here.
+pub fn transition(state: NodeState) -> NodeState {
+    match state {
+        NodeState::Healthy => NodeState::Suspect,
+        NodeState::Suspect => NodeState::Healthy,
+    }
+}
