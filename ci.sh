@@ -25,8 +25,9 @@ echo "==> perf-regression gate (quick smoke benches vs BENCH_2.json)"
 rm -f target/bench-current.jsonl
 ANUBIS_BENCH_QUICK=1 ANUBIS_BENCH_JSON="$(pwd)/target/bench-current.jsonl" \
     cargo bench -p anubis-bench --offline -- \
-    cdf_distance one_sided_distance criteria/algorithm2 selection/algorithm1 \
-    coxtime/expected_tbni coxtime/incident_probability scan/full json/serialize
+    cdf_distance one_sided_distance criteria/algorithm2 criteria/incremental \
+    selection/algorithm1 selection/celf coxtime/expected_tbni \
+    coxtime/incident_probability coxtime/warmstart scan/full json/serialize
 cargo run -p anubis-xtask --offline -- perfgate
 
 echo "==> release build"

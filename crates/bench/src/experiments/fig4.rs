@@ -2,7 +2,9 @@
 //! different scales.
 
 use crate::table::render_table;
-use anubis_traces::{generate_incident_trace, IncidentTrace, IncidentTraceConfig};
+use anubis_traces::{
+    generate_incident_trace, job_time_to_failure_from, IncidentTrace, IncidentTraceConfig,
+};
 use std::fmt;
 
 /// Configuration for the Figure 4 reproduction.
@@ -56,15 +58,18 @@ pub fn run(config: &Fig4Config) -> Fig4Result {
         ..IncidentTraceConfig::default()
     });
     let mean_gaps = trace.mean_gap_by_incident_index(config.min_nodes_per_index);
+    // One gap table feeds every right-panel cell; recomputing the
+    // whole-trace statistic per cell made this figure quadratic.
+    let gap_table = trace.mean_gap_by_incident_index(1);
     let job_ttf = [1usize, 4, 16, 64, 256]
         .iter()
         .map(|&scale| {
             (
                 scale,
                 [
-                    trace.job_time_to_failure(1, scale),
-                    trace.job_time_to_failure(5, scale),
-                    trace.job_time_to_failure(10, scale),
+                    job_time_to_failure_from(&gap_table, 1, scale),
+                    job_time_to_failure_from(&gap_table, 5, scale),
+                    job_time_to_failure_from(&gap_table, 10, scale),
                 ],
             )
         })

@@ -34,6 +34,14 @@ impl Ecdf {
         }
     }
 
+    /// Builds an ECDF from an already-sorted support. The caller (the
+    /// [`crate::EcdfSketch`] collapse path) guarantees `sorted` is ascending
+    /// in [`f64::total_cmp`] order — the same order [`Sample`] sorts with.
+    pub(crate) fn from_sorted(sorted: Vec<f64>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()));
+        Self { sorted }
+    }
+
     /// Number of underlying measurements.
     pub fn len(&self) -> usize {
         self.sorted.len()

@@ -7,6 +7,9 @@
 //!   value from a micro-benchmark, or a step-throughput time series from an
 //!   end-to-end benchmark).
 //! - [`Ecdf`]: the empirical cumulative distribution function of a sample.
+//! - [`EcdfSketch`]: an append-only, mergeable ECDF accumulator for
+//!   incremental criteria refreshes (amortized `O(log n)` append,
+//!   `O(n + m)` merge without re-sorting).
 //! - [`distance`]: the paper's Eq. (2) CDF-space distance, Eq. (3)
 //!   similarity, and Eq. (4) one-sided distance used for online defect
 //!   filtering.
@@ -27,13 +30,15 @@ pub mod json;
 pub mod outlier;
 pub mod sample;
 pub mod seasonal;
+pub mod sketch;
 pub mod stats;
 
 pub use distance::{
-    cdf_distance, cdf_distance_ecdf, mean_pairwise_similarity, one_sided_distance,
-    one_sided_distance_ecdf, one_sided_similarity, pairwise_similarity_matrix,
+    cdf_distance, cdf_distance_ecdf, extend_similarity_matrix, mean_pairwise_similarity,
+    one_sided_distance, one_sided_distance_ecdf, one_sided_similarity, pairwise_similarity_matrix,
     pairwise_similarity_matrix_threads, similarity, similarity_ecdf, Direction,
 };
 pub use ecdf::Ecdf;
 pub use error::{MetricsError, Result};
 pub use sample::Sample;
+pub use sketch::EcdfSketch;

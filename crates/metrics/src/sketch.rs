@@ -1,0 +1,325 @@
+//! Mergeable empirical-CDF sketches.
+//!
+//! [`Ecdf`] is a batch structure: it sorts the whole sample up front and
+//! answers queries against the sorted support. At fleet scale the Validator
+//! re-derives criteria as results stream in, and per-shard distributions
+//! must combine into fleet-wide criteria without re-sorting the world.
+//! [`EcdfSketch`] fills that gap: an append-only ECDF accumulator with
+//!
+//! - amortized `O(log n)` append (a logarithmic merge structure: sorted
+//!   runs whose lengths follow a binary-counter discipline, so an append
+//!   cascades through at most `log n` run merges),
+//! - `O(n + m)` merge of two sketches by a linear merge walk over their
+//!   collapsed runs — no re-sort, and
+//! - queries (`eval`, `quantile`, `min`, `max`) that are *observationally
+//!   equivalent* to building [`Ecdf`] over the same multiset of values:
+//!   they return bit-identical results, because every query reduces to
+//!   multiset counts and order statistics, which do not depend on how the
+//!   values are partitioned into runs.
+//!
+//! Run merges compare with [`f64::total_cmp`] — the same comparator
+//! [`crate::Sample`] sorts with — so [`EcdfSketch::to_ecdf`] reproduces the
+//! batch support byte-for-byte even in the presence of `-0.0`.
+
+use crate::ecdf::Ecdf;
+use crate::sample::Sample;
+
+/// An append-only, mergeable empirical-CDF accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use anubis_metrics::{Ecdf, EcdfSketch, Sample};
+///
+/// let mut shard_a = EcdfSketch::new();
+/// shard_a.append(2.0);
+/// shard_a.append(1.0);
+/// let mut shard_b = EcdfSketch::new();
+/// shard_b.append(4.0);
+/// shard_b.append(2.0);
+/// shard_a.merge(&shard_b);
+///
+/// let batch = Ecdf::new(&Sample::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap());
+/// assert_eq!(shard_a.eval(2.0), batch.eval(2.0));
+/// assert_eq!(shard_a.quantile(0.5), batch.quantile(0.5));
+/// assert_eq!(shard_a.to_ecdf(), batch);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EcdfSketch {
+    /// Sorted runs. `runs[k]` is either empty or holds exactly `2^k`
+    /// values, mirroring the bits of `len` — the classical logarithmic
+    /// (binary-counter) merge structure.
+    runs: Vec<Vec<f64>>,
+    /// Total number of appended values.
+    len: usize,
+}
+
+impl EcdfSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sketch directly from a validated sample, reusing its
+    /// already-sorted support as a single run (`O(n)`).
+    pub fn from_sample(sample: &Sample) -> Self {
+        Self {
+            runs: vec![sample.sorted().to_vec()],
+            len: sample.len(),
+        }
+    }
+
+    /// Number of appended values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no value has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one measurement. Amortized `O(log n)`: the new singleton
+    /// run is carried upward, merging with each occupied level, exactly
+    /// like incrementing a binary counter.
+    pub fn append(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "sketch values must be finite");
+        let mut carry = vec![value];
+        let mut level = 0;
+        loop {
+            if level == self.runs.len() {
+                self.runs.push(carry);
+                break;
+            }
+            if self.runs[level].is_empty() {
+                self.runs[level] = carry;
+                break;
+            }
+            let occupant = std::mem::take(&mut self.runs[level]);
+            carry = merge_runs(&occupant, &carry);
+            level += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Appends every value of an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.append(v);
+        }
+    }
+
+    /// Merges another sketch into this one **without re-sorting**: both
+    /// sketches collapse their runs smallest-first (geometric run lengths
+    /// make that `O(n)` / `O(m)` total) and a single linear merge walk
+    /// combines the two collapsed runs — `O(n + m)` overall.
+    pub fn merge(&mut self, other: &EcdfSketch) {
+        if other.is_empty() {
+            return;
+        }
+        let mine = self.collapsed();
+        let theirs = other.collapsed();
+        let merged = merge_runs(&mine, &theirs);
+        self.len += other.len;
+        self.runs.clear();
+        self.runs.push(merged);
+    }
+
+    /// Evaluates `F(x)`, the fraction of values `<= x`. Bit-identical to
+    /// [`Ecdf::eval`] on the same multiset: the count of values `<= x` is
+    /// the sum of per-run counts regardless of partitioning.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut count = 0usize;
+        for run in &self.runs {
+            count += run.partition_point(|&v| v <= x);
+        }
+        count as f64 / self.len as f64
+    }
+
+    /// The quantile function, bit-identical to [`Ecdf::quantile`] on the
+    /// same multiset: both return the `k`-th smallest value for the same
+    /// `k`, and order statistics are a multiset property.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.min();
+        }
+        let k = ((p * self.len as f64).ceil() as usize).clamp(1, self.len);
+        self.kth_smallest(k)
+    }
+
+    /// Smallest appended value.
+    pub fn min(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for run in &self.runs {
+            if let Some(&first) = run.first() {
+                if first.total_cmp(&best).is_lt() {
+                    best = first;
+                }
+            }
+        }
+        best
+    }
+
+    /// Largest appended value.
+    pub fn max(&self) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for run in &self.runs {
+            if let Some(&last) = run.last() {
+                if last.total_cmp(&best).is_gt() {
+                    best = last;
+                }
+            }
+        }
+        best
+    }
+
+    /// The `k`-th smallest value (1-based) in total order, found by a
+    /// `k`-way pointer walk over the sorted runs.
+    fn kth_smallest(&self, k: usize) -> f64 {
+        debug_assert!(k >= 1 && k <= self.len);
+        let mut cursors = vec![0usize; self.runs.len()];
+        let mut current = f64::NAN;
+        for _ in 0..k {
+            let mut best: Option<usize> = None;
+            for (r, run) in self.runs.iter().enumerate() {
+                let Some(&candidate) = run.get(cursors[r]) else {
+                    continue;
+                };
+                let better = match best {
+                    None => true,
+                    Some(b) => candidate.total_cmp(&self.runs[b][cursors[b]]).is_lt(),
+                };
+                if better {
+                    best = Some(r);
+                }
+            }
+            let Some(r) = best else {
+                break;
+            };
+            current = self.runs[r][cursors[r]];
+            cursors[r] += 1;
+        }
+        current
+    }
+
+    /// Collapses all runs into one ascending vector. Run lengths are
+    /// geometric, so merging smallest-first costs `O(n)` total.
+    fn collapsed(&self) -> Vec<f64> {
+        let mut acc: Vec<f64> = Vec::new();
+        for run in self.runs.iter().filter(|r| !r.is_empty()) {
+            if acc.is_empty() {
+                acc.extend_from_slice(run);
+            } else {
+                acc = merge_runs(&acc, run);
+            }
+        }
+        acc
+    }
+
+    /// Converts into a batch [`Ecdf`]. The collapsed runs are exactly the
+    /// [`f64::total_cmp`]-sorted support [`Ecdf::new`] would build.
+    pub fn to_ecdf(&self) -> Ecdf {
+        Ecdf::from_sorted(self.collapsed())
+    }
+
+    /// Sorted support points with duplicates removed — the breakpoints of
+    /// the step function, identical to [`Ecdf::breakpoints`].
+    pub fn breakpoints(&self) -> Vec<f64> {
+        let mut points = self.collapsed();
+        points.dedup();
+        points
+    }
+}
+
+/// Linear merge of two runs each sorted by [`f64::total_cmp`]; ties take
+/// the left side first, which preserves the total order.
+fn merge_runs(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].total_cmp(&b[j]).is_le() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(values: &[f64]) -> Sample {
+        Sample::new(values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn append_matches_batch_ecdf() {
+        let values = [5.0, 1.0, 3.0, 3.0, 2.0, 8.0, 0.5];
+        let mut sketch = EcdfSketch::new();
+        sketch.extend(values.iter().copied());
+        let batch = Ecdf::new(&sample(&values));
+        assert_eq!(sketch.to_ecdf(), batch);
+        for x in [0.0, 0.5, 1.5, 3.0, 8.0, 9.0] {
+            assert_eq!(sketch.eval(x), batch.eval(x));
+        }
+        for p in [0.0, 0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(sketch.quantile(p), batch.quantile(p));
+        }
+        assert_eq!(sketch.min(), batch.min());
+        assert_eq!(sketch.max(), batch.max());
+        assert_eq!(sketch.breakpoints(), batch.breakpoints());
+    }
+
+    #[test]
+    fn merge_matches_concatenated_batch() {
+        let a = [4.0, 1.0, 7.0];
+        let b = [2.0, 2.0, 9.0, 0.25];
+        let mut sa = EcdfSketch::new();
+        sa.extend(a.iter().copied());
+        let mut sb = EcdfSketch::new();
+        sb.extend(b.iter().copied());
+        sa.merge(&sb);
+        let mut all: Vec<f64> = a.to_vec();
+        all.extend_from_slice(&b);
+        let batch = Ecdf::new(&sample(&all));
+        assert_eq!(sa.len(), 7);
+        assert_eq!(sa.to_ecdf(), batch);
+    }
+
+    #[test]
+    fn from_sample_seeds_a_single_run() {
+        let s = sample(&[3.0, 1.0, 2.0]);
+        let sketch = EcdfSketch::from_sample(&s);
+        assert_eq!(sketch.len(), 3);
+        assert_eq!(sketch.to_ecdf(), Ecdf::new(&s));
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut empty = EcdfSketch::new();
+        let mut other = EcdfSketch::new();
+        other.append(1.0);
+        empty.merge(&other);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.min(), 1.0);
+        let before = empty.clone();
+        empty.merge(&EcdfSketch::new());
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn run_lengths_follow_binary_counter() {
+        let mut sketch = EcdfSketch::new();
+        sketch.extend((0..11).map(|i| i as f64));
+        // 11 = 0b1011: runs of size 1, 2 and 8 occupied.
+        let lens: Vec<usize> = sketch.runs.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![1, 2, 0, 8]);
+    }
+}

@@ -3,7 +3,7 @@
 use anubis_metrics::outlier::{KMeans, KMeansConfig};
 use anubis_metrics::{
     cdf_distance, cdf_distance_ecdf, one_sided_distance, pairwise_similarity_matrix,
-    pairwise_similarity_matrix_threads, similarity, Direction, Ecdf, Sample,
+    pairwise_similarity_matrix_threads, similarity, Direction, Ecdf, EcdfSketch, Sample,
 };
 use proptest::prelude::*;
 
@@ -115,5 +115,70 @@ proptest! {
         prop_assert!(model.inertia() >= 0.0);
         let majority = model.majority_cluster();
         prop_assert!(model.members_of(majority).len() * 2 >= points.len());
+    }
+
+    // EcdfSketch is observationally equivalent to the batch Ecdf: any
+    // interleaving of appends and sub-sketch merges over the same multiset
+    // of values answers eval/quantile/breakpoints bit-identically.
+    #[test]
+    fn sketch_append_is_observationally_equivalent_to_batch(
+        values in measurements(),
+        probes in prop::collection::vec(0.0f64..1.0e6, 4),
+        ps in prop::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let batch = Ecdf::new(&Sample::new(values.clone()).unwrap());
+        let mut sketch = EcdfSketch::new();
+        sketch.extend(values.iter().copied());
+        prop_assert_eq!(sketch.len(), batch.len());
+        for &x in probes.iter().chain(values.iter()) {
+            prop_assert_eq!(sketch.eval(x).to_bits(), batch.eval(x).to_bits());
+        }
+        for &p in &ps {
+            prop_assert_eq!(sketch.quantile(p).to_bits(), batch.quantile(p).to_bits());
+        }
+        prop_assert_eq!(sketch.min().to_bits(), batch.min().to_bits());
+        prop_assert_eq!(sketch.max().to_bits(), batch.max().to_bits());
+        prop_assert_eq!(sketch.breakpoints(), batch.breakpoints());
+        prop_assert_eq!(sketch.to_ecdf(), batch);
+    }
+
+    #[test]
+    fn sketch_merge_is_observationally_equivalent_to_batch(
+        shards in prop::collection::vec(measurements(), 1..5),
+        probes in prop::collection::vec(0.0f64..1.0e6, 4),
+    ) {
+        let mut merged = EcdfSketch::new();
+        let mut all = Vec::new();
+        for shard in &shards {
+            let mut s = EcdfSketch::new();
+            s.extend(shard.iter().copied());
+            merged.merge(&s);
+            all.extend_from_slice(shard);
+        }
+        let batch = Ecdf::new(&Sample::new(all).unwrap());
+        prop_assert_eq!(merged.len(), batch.len());
+        for &x in &probes {
+            prop_assert_eq!(merged.eval(x).to_bits(), batch.eval(x).to_bits());
+        }
+        for p in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(merged.quantile(p).to_bits(), batch.quantile(p).to_bits());
+        }
+        prop_assert_eq!(merged.to_ecdf(), batch);
+    }
+
+    // The incremental matrix extension reproduces the batch pairwise
+    // matrix bit-for-bit at any split point and thread count.
+    #[test]
+    fn extend_similarity_matrix_matches_batch(
+        raw in prop::collection::vec(prop::collection::vec(1.0f64..1.0e3, 1..8), 2..10),
+        split_seed in 0usize..100,
+        threads in 0usize..4,
+    ) {
+        let samples: Vec<Sample> = raw.into_iter().map(|v| Sample::new(v).unwrap()).collect();
+        let split = split_seed % (samples.len() + 1);
+        let mut matrix = pairwise_similarity_matrix(&samples[..split]);
+        let mut ecdfs: Vec<Ecdf> = samples[..split].iter().map(Ecdf::new).collect();
+        anubis_metrics::extend_similarity_matrix(&mut matrix, &mut ecdfs, &samples, threads);
+        prop_assert_eq!(matrix, pairwise_similarity_matrix(&samples));
     }
 }

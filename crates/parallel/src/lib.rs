@@ -50,6 +50,28 @@ const MAX_THREADS: usize = 16;
 /// selects the hardware default). Results never depend on this value.
 pub const THREADS_ENV: &str = "ANUBIS_THREADS";
 
+/// Environment variable toggling the incremental statistical paths —
+/// CELF benchmark selection, the criteria cache, and the Cox-Time
+/// warm-start split. Unset or any value other than `0` enables them; set
+/// to `0` to force the batch reference paths. Both settings produce
+/// bit-identical outputs (the incremental paths are proven equivalent);
+/// only wall-clock time changes, exactly like [`THREADS_ENV`].
+pub const INCREMENTAL_ENV: &str = "ANUBIS_INCREMENTAL";
+
+/// Whether the incremental statistical paths are enabled (the default).
+/// See [`INCREMENTAL_ENV`].
+pub fn incremental_enabled() -> bool {
+    std::env::var(INCREMENTAL_ENV).map_or(true, |v| v.trim() != "0")
+}
+
+/// Workloads at or below this many chunks bypass the thread pool: on a
+/// 1–2 chunk workload the spawn/join overhead costs more than the
+/// parallelism buys (the fig4 run-time regression recorded in
+/// BENCH_2.json). Routing them through the inline path changes nothing
+/// but wall-clock time — the executor is bit-deterministic at any worker
+/// count, including 1.
+pub const SERIAL_CHUNK_CUTOFF: usize = 2;
+
 /// Worker-thread count from [`THREADS_ENV`], defaulting to the machine's
 /// available parallelism, clamped to `1..=16`.
 ///
@@ -150,7 +172,18 @@ where
     F: Fn(usize, &[T]) -> R + Sync,
 {
     let tasks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    let threads = serial_below_cutoff(tasks.len(), threads);
     execute(tasks, threads, f)
+}
+
+/// Forces the inline path for tiny chunked workloads (see
+/// [`SERIAL_CHUNK_CUTOFF`]).
+fn serial_below_cutoff(chunk_count: usize, threads: usize) -> usize {
+    if chunk_count <= SERIAL_CHUNK_CUTOFF {
+        1
+    } else {
+        threads
+    }
 }
 
 /// [`map_chunks`] over mutable chunks: each worker owns a disjoint
@@ -163,6 +196,7 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     let tasks: Vec<&mut [T]> = items.chunks_mut(chunk_size.max(1)).collect();
+    let threads = serial_below_cutoff(tasks.len(), threads);
     execute(tasks, threads, f)
 }
 
@@ -294,6 +328,35 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(10_000), MAX_THREADS);
         assert!(auto_threads() >= 1 && auto_threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn tiny_workloads_match_at_any_thread_count() {
+        // At or below the serial cutoff the pool is bypassed; results are
+        // identical either way (the contract), so only pin the behavior.
+        let items: Vec<f64> = (0..7).map(f64::from).collect();
+        let reference = map_chunks(&items, 4, 1, |_, c| c.iter().sum::<f64>());
+        for threads in [2, 8, 16] {
+            assert_eq!(
+                reference,
+                map_chunks(&items, 4, threads, |_, c| c.iter().sum::<f64>())
+            );
+        }
+        assert_eq!(serial_below_cutoff(SERIAL_CHUNK_CUTOFF, 8), 1);
+        assert_eq!(serial_below_cutoff(SERIAL_CHUNK_CUTOFF + 1, 8), 8);
+    }
+
+    #[test]
+    fn incremental_toggle_reads_env() {
+        // No other test in this binary touches the variable, so the
+        // process-global mutation cannot race.
+        std::env::remove_var(INCREMENTAL_ENV);
+        assert!(incremental_enabled());
+        std::env::set_var(INCREMENTAL_ENV, "0");
+        assert!(!incremental_enabled());
+        std::env::set_var(INCREMENTAL_ENV, "1");
+        assert!(incremental_enabled());
+        std::env::remove_var(INCREMENTAL_ENV);
     }
 
     #[test]

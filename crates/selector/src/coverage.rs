@@ -61,6 +61,21 @@ impl CoverageTable {
             .map_or(0, BTreeSet::len)
     }
 
+    /// All recorded defect ids, ascending. The CELF mask builder uses the
+    /// position in this order as the defect's bit index.
+    pub fn defect_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.all_defects.iter().copied()
+    }
+
+    /// The defect ids one benchmark identified, ascending.
+    pub fn defect_ids_of(&self, benchmark: BenchmarkId) -> impl Iterator<Item = u64> + '_ {
+        self.defects_by_benchmark
+            .get(&benchmark)
+            .into_iter()
+            .flatten()
+            .copied()
+    }
+
     /// Coverage of a benchmark subset: `|union of their defect sets| /
     /// |all defects|`. Returns 0 with no history (conservative: an unknown
     /// subset prevents nothing).

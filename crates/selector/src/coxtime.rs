@@ -88,6 +88,13 @@ pub struct CoxTimeModel {
 impl CoxTimeModel {
     /// Trains on survival samples (events and censored rows).
     ///
+    /// Cold-fit convenience over [`CoxTimeTrainer`]: ingest everything,
+    /// train `config.epochs` epochs, finish. A caller that keeps the
+    /// trainer instead can absorb new incident intervals with
+    /// [`CoxTimeTrainer::ingest`] and resume training from the fitted
+    /// parameters — and the result is bit-identical to this cold path on
+    /// the concatenated sample list.
+    ///
     /// # Errors
     ///
     /// Returns [`MetricsError::InsufficientData`] if `samples` contains no
@@ -96,26 +103,207 @@ impl CoxTimeModel {
         let _span = anubis_obs::span!("coxtime.fit");
         anubis_obs::counter!("coxtime.fit_samples", samples.len() as i64);
         anubis_obs::counter!("coxtime.fit_epochs", config.epochs as i64);
-        let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
-        let scaler = StandardScaler::fit(&features);
-        let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
-        let time_scale = samples
-            .iter()
-            .map(|s| s.duration)
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let epochs = config.epochs;
+        let mut trainer = CoxTimeTrainer::new(config.clone());
+        trainer.ingest(samples);
+        trainer.train(epochs)?;
+        trainer.finish()
+    }
 
-        // Sort sample indices by duration ascending: the risk set of an
-        // event is then a suffix.
-        let mut by_duration: Vec<usize> = (0..samples.len()).collect();
-        by_duration.sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
-        let rank_of: Vec<usize> = {
-            let mut rank = vec![0usize; samples.len()];
-            for (r, &i) in by_duration.iter().enumerate() {
-                rank[i] = r;
+    /// The risk score `g(t, x)` for a status at time `t`.
+    pub fn log_risk(&self, status: &NodeStatus, t: f64) -> f64 {
+        RiskEval::new(self, status).log_risk(t)
+    }
+
+    /// Survival probability `S(t|x)`.
+    pub fn survival(&self, status: &NodeStatus, t: f64) -> f64 {
+        let mut eval = RiskEval::new(self, status);
+        let mut cumulative = 0.0;
+        for &(time, delta) in &self.baseline {
+            if time > t {
+                break;
             }
-            rank
-        };
+            cumulative += delta * eval.log_risk(time).exp();
+        }
+        (-cumulative).exp()
+    }
+
+    /// The fitted Breslow grid (for diagnostics).
+    pub fn baseline(&self) -> &[(f64, f64)] {
+        &self.baseline
+    }
+}
+
+/// Merges two duration-sorted index runs over `samples` into `out`,
+/// taking the `old` side on ties.
+///
+/// Because every index in `old` precedes every index in `incoming` (the
+/// incoming batch is appended at the tail of the sample list), tie-takes-
+/// left reproduces exactly what a stable sort of the concatenated list
+/// would produce — so a trainer that maintains its duration order through
+/// this merge is indistinguishable, index for index, from one that
+/// re-sorts from scratch.
+pub fn warmstart_merge_into(
+    samples: &[SurvivalSample],
+    old: &[usize],
+    incoming: &[usize],
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let mut a = 0usize;
+    let mut b = 0usize;
+    while a < old.len() && b < incoming.len() {
+        let i = old[a];
+        let j = incoming[b];
+        if samples[i].duration.total_cmp(&samples[j].duration).is_le() {
+            out.push(i);
+            a += 1;
+        } else {
+            out.push(j);
+            b += 1;
+        }
+    }
+    while a < old.len() {
+        out.push(old[a]);
+        a += 1;
+    }
+    while b < incoming.len() {
+        out.push(incoming[b]);
+        b += 1;
+    }
+}
+
+/// An incremental Cox-Time fitting session.
+///
+/// Holds the network, optimizer moments, RNG stream and the
+/// duration-sorted sample order across calls, so training can be
+/// checkpointed ([`CoxTimeTrainer::train`] twice ≡ one longer run) and
+/// new incident intervals can be absorbed ([`CoxTimeTrainer::ingest`])
+/// without restarting from epoch zero.
+///
+/// Two exact equivalences hold (asserted bit-for-bit in this module's
+/// tests):
+///
+/// 1. `new + ingest(D₁) + ingest(D₂) + train(E) + finish` equals
+///    `CoxTimeModel::fit(D₁ ∥ D₂)` with `epochs = E` — ingestion
+///    reconstructs the derived dataset state (scaler, time scale,
+///    duration order) exactly as a cold fit derives it;
+/// 2. `train(E₁)` then `train(E₂)` equals `train(E₁ + E₂)` — the epoch
+///    loop carries no per-call state besides the trainer fields.
+///
+/// A *warm refit* — ingesting a delta after training has already run —
+/// is deliberately approximate: it resumes gradient descent from the
+/// fitted parameters instead of replaying every epoch, which is the
+/// entire point. Use a fresh trainer when cold-fit semantics are needed.
+#[derive(Debug, Clone)]
+pub struct CoxTimeTrainer {
+    config: CoxTimeConfig,
+    samples: Vec<SurvivalSample>,
+    /// Sample indices sorted by duration ascending: the risk set of an
+    /// event is then a suffix. Maintained across ingests by
+    /// [`warmstart_merge_into`].
+    by_duration: Vec<usize>,
+    merge_scratch: Vec<usize>,
+    incoming_scratch: Vec<usize>,
+    net: Mlp,
+    adam: Adam,
+    rng: ChaCha8Rng,
+    /// The event visit order, shuffled in place epoch over epoch. A cold
+    /// fit shuffles one persistent permutation across all its epochs, so
+    /// checkpoint-resume equality requires carrying it (not just the RNG
+    /// position) across `train` calls. Rebuilt after ingestion.
+    order: Vec<usize>,
+    order_dirty: bool,
+    epochs_trained: usize,
+}
+
+impl CoxTimeTrainer {
+    /// Creates an empty training session. The network, optimizer and RNG
+    /// are seeded exactly as a cold [`CoxTimeModel::fit`] seeds them —
+    /// none of them depends on the data, so creation order is
+    /// irrelevant to equivalence.
+    pub fn new(config: CoxTimeConfig) -> Self {
+        let input_dim = 1 + NodeStatus::fresh().features().len();
+        let mut sizes = vec![input_dim];
+        sizes.extend(&config.hidden);
+        sizes.push(1);
+        let net = Mlp::new(&sizes, Activation::Tanh, config.seed);
+        let adam = Adam::new(&net, config.learning_rate).with_weight_decay(config.weight_decay);
+        let rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed);
+        Self {
+            config,
+            samples: Vec::new(),
+            by_duration: Vec::new(),
+            merge_scratch: Vec::new(),
+            incoming_scratch: Vec::new(),
+            net,
+            adam,
+            rng,
+            order: Vec::new(),
+            order_dirty: true,
+            epochs_trained: 0,
+        }
+    }
+
+    /// Samples absorbed so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total epochs trained so far across all [`CoxTimeTrainer::train`]
+    /// calls.
+    pub fn epochs_trained(&self) -> usize {
+        self.epochs_trained
+    }
+
+    /// Absorbs new survival samples, splicing them into the maintained
+    /// duration order with an O(n + m) merge instead of an O(n log n)
+    /// re-sort. Does not touch the network, optimizer or RNG.
+    pub fn ingest(&mut self, new_samples: &[SurvivalSample]) {
+        if new_samples.is_empty() {
+            return;
+        }
+        let _span = anubis_obs::span!("coxtime.trainer.ingest");
+        let old_len = self.samples.len();
+        self.samples.extend_from_slice(new_samples);
+        self.incoming_scratch.clear();
+        self.incoming_scratch.extend(old_len..self.samples.len());
+        let samples = &self.samples;
+        self.incoming_scratch
+            .sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
+        warmstart_merge_into(
+            &self.samples,
+            &self.by_duration,
+            &self.incoming_scratch,
+            &mut self.merge_scratch,
+        );
+        std::mem::swap(&mut self.by_duration, &mut self.merge_scratch);
+        self.order_dirty = true;
+        anubis_obs::counter!("coxtime.trainer.samples_ingested", new_samples.len() as i64);
+    }
+
+    /// Runs `epochs` additional training epochs over the absorbed
+    /// samples, continuing the RNG stream and optimizer state exactly
+    /// where the previous call stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InsufficientData`] if no absorbed sample
+    /// is an event.
+    pub fn train(&mut self, epochs: usize) -> Result<(), MetricsError> {
+        let _span = anubis_obs::span!("coxtime.trainer.train");
+        anubis_obs::counter!("coxtime.trainer.epochs", epochs as i64);
+        let samples = &self.samples;
+        let by_duration = &self.by_duration;
+        let config = &self.config;
+        let net = &mut self.net;
+        let adam = &mut self.adam;
+        let rng = &mut self.rng;
         let events: Vec<usize> = (0..samples.len()).filter(|&i| samples[i].event).collect();
         if events.is_empty() {
             return Err(MetricsError::InsufficientData {
@@ -123,14 +311,17 @@ impl CoxTimeModel {
                 actual: 0,
             });
         }
-
-        let input_dim = 1 + scaler.dim();
-        let mut sizes = vec![input_dim];
-        sizes.extend(&config.hidden);
-        sizes.push(1);
-        let mut net = Mlp::new(&sizes, Activation::Tanh, config.seed);
-        let mut adam = Adam::new(&net, config.learning_rate).with_weight_decay(config.weight_decay);
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed);
+        let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
+        let scaler = StandardScaler::fit(&features);
+        let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
+        let time_scale = time_scale_of(samples);
+        let rank_of: Vec<usize> = {
+            let mut rank = vec![0usize; samples.len()];
+            for (r, &i) in by_duration.iter().enumerate() {
+                rank[i] = r;
+            }
+            rank
+        };
 
         let fill_input = |input: &mut Vec<f64>, t: f64, x: &[f64]| {
             input.clear();
@@ -152,9 +343,14 @@ impl CoxTimeModel {
         let mut input: Vec<f64> = Vec::new();
         let mut exps: Vec<f64> = Vec::new();
         let mut controls_buf: Vec<usize> = Vec::new();
-        let mut order = events.clone();
-        for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+        let order = &mut self.order;
+        if self.order_dirty {
+            order.clear();
+            order.extend_from_slice(&events);
+            self.order_dirty = false;
+        }
+        for _ in 0..epochs {
+            order.shuffle(&mut *rng);
             for batch in order.chunks(config.batch_size.max(1)) {
                 let batch_events = if workers == 1 {
                     // Single worker: accumulate each backward call straight
@@ -243,7 +439,7 @@ impl CoxTimeModel {
                     // every parameter receives exactly one addition, so
                     // merging the calls in order below replays the
                     // sequential accumulation addition-for-addition.
-                    let net_ref = &net;
+                    let net_ref: &Mlp = net;
                     let chunk_grads: Vec<Vec<f64>> = anubis_parallel::map_chunks(
                         &tasks,
                         EVENTS_PER_CHUNK,
@@ -325,9 +521,44 @@ impl CoxTimeModel {
                 for g in &mut acc {
                     *g *= inv;
                 }
-                adam.step_flat(&mut net, &acc);
+                adam.step_flat(&mut *net, &acc);
             }
         }
+        self.epochs_trained += epochs;
+        Ok(())
+    }
+
+    /// Computes the Breslow baseline hazard from the current network and
+    /// sample set, returning a fitted [`CoxTimeModel`] snapshot. The
+    /// trainer stays usable for further ingestion and training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InsufficientData`] if no absorbed sample
+    /// is an event.
+    pub fn finish(&self) -> Result<CoxTimeModel, MetricsError> {
+        let _span = anubis_obs::span!("coxtime.trainer.finish");
+        let samples = &self.samples;
+        let by_duration = &self.by_duration;
+        let config = &self.config;
+        let net = &self.net;
+        let events: Vec<usize> = (0..samples.len()).filter(|&i| samples[i].event).collect();
+        if events.is_empty() {
+            return Err(MetricsError::InsufficientData {
+                required: 1,
+                actual: 0,
+            });
+        }
+        let features: Vec<Vec<f64>> = samples.iter().map(|s| s.status.features()).collect();
+        let scaler = StandardScaler::fit(&features);
+        let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
+        let time_scale = time_scale_of(samples);
+        let fill_input = |input: &mut Vec<f64>, t: f64, x: &[f64]| {
+            input.clear();
+            input.push(t / time_scale);
+            input.extend_from_slice(x);
+        };
+        let threads = config.threads;
 
         // Breslow baseline hazard on a bucketed event-time grid. Buckets
         // are kept small and anchored at their median event time so the
@@ -354,7 +585,7 @@ impl CoxTimeModel {
             specs.push((t_bucket, t_mid, deaths, start_rank));
             k = end;
         }
-        let net_ref = &net;
+        let net_ref: &Mlp = net;
         let baseline: Vec<(f64, f64)> = anubis_parallel::map_items(
             &specs,
             threads,
@@ -377,36 +608,38 @@ impl CoxTimeModel {
             },
         );
 
-        Ok(Self {
-            net,
+        Ok(CoxTimeModel {
+            net: self.net.clone(),
             scaler,
             time_scale,
             baseline,
         })
     }
 
-    /// The risk score `g(t, x)` for a status at time `t`.
-    pub fn log_risk(&self, status: &NodeStatus, t: f64) -> f64 {
-        RiskEval::new(self, status).log_risk(t)
+    /// Warm refit: absorbs `delta` and runs `epochs` more epochs from the
+    /// current parameters, returning the refreshed model. Approximate by
+    /// design — the savings come from not replaying every historical
+    /// epoch against the grown sample set.
+    pub fn refit(
+        &mut self,
+        delta: &[SurvivalSample],
+        epochs: usize,
+    ) -> Result<CoxTimeModel, MetricsError> {
+        self.ingest(delta);
+        self.train(epochs)?;
+        self.finish()
     }
+}
 
-    /// Survival probability `S(t|x)`.
-    pub fn survival(&self, status: &NodeStatus, t: f64) -> f64 {
-        let mut eval = RiskEval::new(self, status);
-        let mut cumulative = 0.0;
-        for &(time, delta) in &self.baseline {
-            if time > t {
-                break;
-            }
-            cumulative += delta * eval.log_risk(time).exp();
-        }
-        (-cumulative).exp()
-    }
-
-    /// The fitted Breslow grid (for diagnostics).
-    pub fn baseline(&self) -> &[(f64, f64)] {
-        &self.baseline
-    }
+/// `max(duration) ∨ 1` — the time normalization a cold fit derives. A
+/// sequential max fold over sample order, so the value is independent of
+/// how ingestion batched the samples.
+fn time_scale_of(samples: &[SurvivalSample]) -> f64 {
+    samples
+        .iter()
+        .map(|s| s.duration)
+        .fold(0.0f64, f64::max)
+        .max(1.0)
 }
 
 /// Per-status evaluation state: features are scaled once and the forward
@@ -645,6 +878,111 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Bit-equality of two fitted models over a probe set (baseline grid
+    /// plus predictions; `==`, not tolerance).
+    fn assert_models_bit_equal(a: &CoxTimeModel, b: &CoxTimeModel) {
+        assert_eq!(a.baseline(), b.baseline());
+        for status in [healthy_status(), worn_status()] {
+            assert_eq!(a.expected_tbni(&status), b.expected_tbni(&status));
+            for t in [10.0, 100.0, 900.0] {
+                assert_eq!(a.survival(&status, t), b.survival(&status, t));
+                assert_eq!(a.log_risk(&status, t), b.log_risk(&status, t));
+            }
+        }
+    }
+
+    #[test]
+    fn staged_ingestion_matches_cold_fit_bitwise() {
+        // Ingesting the sample list in pieces (including one-at-a-time
+        // dribble for the tail) must reconstruct the derived dataset
+        // state exactly, so training afterwards equals the cold fit to
+        // the last bit.
+        let samples = synthetic_samples(120, 11);
+        let config = CoxTimeConfig {
+            epochs: 4,
+            hidden: vec![12],
+            baseline_buckets: 16,
+            ..Default::default()
+        };
+        let cold = CoxTimeModel::fit(&samples, &config).unwrap();
+        for split in [1usize, 40, 119] {
+            let mut trainer = CoxTimeTrainer::new(config.clone());
+            trainer.ingest(&samples[..split]);
+            for s in &samples[split..] {
+                trainer.ingest(std::slice::from_ref(s));
+            }
+            assert_eq!(trainer.len(), samples.len());
+            trainer.train(config.epochs).unwrap();
+            let warm = trainer.finish().unwrap();
+            assert_models_bit_equal(&cold, &warm);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_single_run_bitwise() {
+        let samples = synthetic_samples(100, 12);
+        let config = CoxTimeConfig {
+            epochs: 6,
+            hidden: vec![12],
+            baseline_buckets: 16,
+            ..Default::default()
+        };
+        let mut single = CoxTimeTrainer::new(config.clone());
+        single.ingest(&samples);
+        single.train(6).unwrap();
+        let mut resumed = CoxTimeTrainer::new(config.clone());
+        resumed.ingest(&samples);
+        resumed.train(2).unwrap();
+        // An intermediate snapshot must not perturb later training.
+        let _checkpoint = resumed.finish().unwrap();
+        resumed.train(4).unwrap();
+        assert_eq!(single.epochs_trained(), resumed.epochs_trained());
+        assert_models_bit_equal(&single.finish().unwrap(), &resumed.finish().unwrap());
+    }
+
+    #[test]
+    fn merge_kernel_reproduces_a_stable_sort() {
+        // Durations with deliberate ties across the old/new boundary: the
+        // merged order must equal a stable sort of the concatenation.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut samples = Vec::new();
+        for _ in 0..64 {
+            let mut s = synthetic_samples(1, 3).remove(0);
+            s.duration = f64::from(rng.random_range(0..12u32));
+            samples.push(s);
+        }
+        for split in [0usize, 1, 20, 63, 64] {
+            let mut old: Vec<usize> = (0..split).collect();
+            old.sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
+            let mut incoming: Vec<usize> = (split..samples.len()).collect();
+            incoming.sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
+            let mut merged = Vec::new();
+            warmstart_merge_into(&samples, &old, &incoming, &mut merged);
+            let mut expected: Vec<usize> = (0..samples.len()).collect();
+            expected.sort_by(|&a, &b| samples[a].duration.total_cmp(&samples[b].duration));
+            assert_eq!(merged, expected, "split {split}");
+        }
+    }
+
+    #[test]
+    fn warm_refit_tracks_population_drift() {
+        // A warm refit over a drifted delta must keep separating the
+        // populations without replaying the original epochs.
+        let initial = synthetic_samples(300, 13);
+        let config = quick_config();
+        let mut trainer = CoxTimeTrainer::new(config.clone());
+        trainer.ingest(&initial);
+        trainer.train(config.epochs).unwrap();
+        let delta = synthetic_samples(100, 14);
+        let refreshed = trainer.refit(&delta, 3).unwrap();
+        assert_eq!(trainer.len(), 400);
+        assert_eq!(trainer.epochs_trained(), config.epochs + 3);
+        assert!(
+            refreshed.expected_tbni(&healthy_status())
+                > 2.0 * refreshed.expected_tbni(&worn_status())
+        );
     }
 
     #[test]

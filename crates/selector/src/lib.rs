@@ -11,7 +11,9 @@
 //!   function `g(t, x)` trained with a case-control partial likelihood plus
 //!   a Breslow baseline hazard;
 //! - [`coverage`]: historical defect-coverage bookkeeping per benchmark;
-//! - [`select`]: Algorithm 1 — greedy Δp/t benchmark selection.
+//! - [`select`]: Algorithm 1 — greedy Δp/t benchmark selection, with a
+//!   lazy-greedy (CELF) fast path over coverage bitmasks that provably
+//!   returns the eager scan's exact sequence.
 
 // Panic-freedom: this crate runs in the fleet-facing validation path.
 // The xtask lint enforces the same invariant lexically; this makes the
@@ -25,8 +27,11 @@ pub mod status;
 pub mod survival;
 
 pub use coverage::CoverageTable;
-pub use coxtime::{CoxTimeConfig, CoxTimeModel};
-pub use select::{select_benchmarks, Selector, SelectorConfig};
+pub use coxtime::{warmstart_merge_into, CoxTimeConfig, CoxTimeModel, CoxTimeTrainer};
+pub use select::{
+    celf_core, select_benchmarks, select_benchmarks_celf, select_benchmarks_eager, CelfScratch,
+    CoverageMasks, Selector, SelectorConfig,
+};
 pub use status::NodeStatus;
 pub use survival::{
     concordance_index, model_accuracy, ExponentialModel, ExponentialPerCountModel,

@@ -38,7 +38,31 @@ pub fn residual_probability(
 ///
 /// Returns the selected subset in selection order. An empty return means
 /// validation can be skipped entirely (`p ≤ p0` with no benchmarks).
+///
+/// Dispatches to the lazy-greedy (CELF) implementation unless
+/// [`anubis_parallel::INCREMENTAL_ENV`] is set to `0`; both paths return
+/// the same benchmark sequence (see [`celf_core`] for the argument, and
+/// the property tests for the evidence).
 pub fn select_benchmarks(
+    model: &dyn SurvivalModel,
+    statuses: &[NodeStatus],
+    horizon: f64,
+    coverage: &CoverageTable,
+    candidates: &[BenchmarkId],
+    p0: f64,
+) -> Vec<BenchmarkId> {
+    if anubis_parallel::incremental_enabled() {
+        select_benchmarks_celf(model, statuses, horizon, coverage, candidates, p0)
+    } else {
+        select_benchmarks_eager(model, statuses, horizon, coverage, candidates, p0)
+    }
+}
+
+/// The eager reference implementation of Algorithm 1: every round rescans
+/// all remaining candidates and recomputes each one's coverage union from
+/// scratch. Kept as the semantic baseline the CELF path is proven
+/// against.
+pub fn select_benchmarks_eager(
     model: &dyn SurvivalModel,
     statuses: &[NodeStatus],
     horizon: f64,
@@ -75,6 +99,338 @@ pub fn select_benchmarks(
     }
     anubis_obs::counter!("selector.benchmarks_selected", subset.len() as i64);
     subset
+}
+
+/// Algorithm 1 via lazy-greedy (CELF) selection: coverage sets become
+/// fixed-width bitmasks, and each round consults a max-priority queue of
+/// cached efficiencies instead of rescanning every candidate.
+///
+/// Returns the same benchmark sequence as [`select_benchmarks_eager`] —
+/// bit-for-bit, not approximately (see [`celf_core`]).
+pub fn select_benchmarks_celf(
+    model: &dyn SurvivalModel,
+    statuses: &[NodeStatus],
+    horizon: f64,
+    coverage: &CoverageTable,
+    candidates: &[BenchmarkId],
+    p0: f64,
+) -> Vec<BenchmarkId> {
+    let _span = anubis_obs::span!("selector.select_benchmarks");
+    let masks = CoverageMasks::build(coverage, candidates);
+    let p_joint = joint_incident_probability(model, statuses, horizon);
+    let mut scratch = CelfScratch::default();
+    let mut picks = Vec::new();
+    let evaluations = celf_core(&masks, p_joint, p0, &mut scratch, &mut picks);
+    anubis_obs::counter!("selector.celf_evaluations", evaluations as i64);
+    let subset: Vec<BenchmarkId> = picks.iter().map(|&i| candidates[i as usize]).collect();
+    anubis_obs::counter!("selector.benchmarks_selected", subset.len() as i64);
+    subset
+}
+
+/// A [`CoverageTable`] flattened to per-candidate defect bitmasks.
+///
+/// Bit `k` stands for the `k`-th defect id in the table's ascending
+/// order ([`CoverageTable::defect_ids`]); each candidate's mask is one
+/// row of `words` consecutive `u64`s. Union coverage becomes a word-wise
+/// OR plus a popcount, replacing the eager path's per-round `BTreeSet`
+/// unions.
+#[derive(Debug, Clone)]
+pub struct CoverageMasks {
+    words: usize,
+    masks: Vec<u64>,
+    runtimes: Vec<f64>,
+    universe: usize,
+}
+
+impl CoverageMasks {
+    /// Flattens `coverage` over a fixed candidate list.
+    pub fn build(coverage: &CoverageTable, candidates: &[BenchmarkId]) -> Self {
+        let positions: std::collections::BTreeMap<u64, usize> = coverage
+            .defect_ids()
+            .enumerate()
+            .map(|(bit, id)| (id, bit))
+            .collect();
+        let universe = positions.len();
+        let words = (universe / 64 + usize::from(!universe.is_multiple_of(64))).max(1);
+        let mut masks = vec![0u64; words * candidates.len()];
+        let mut runtimes = Vec::with_capacity(candidates.len());
+        for (c, &bench) in candidates.iter().enumerate() {
+            let row = &mut masks[c * words..(c + 1) * words];
+            for id in coverage.defect_ids_of(bench) {
+                if let Some(&bit) = positions.get(&id) {
+                    row[bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+            runtimes.push(bench.spec().runtime_minutes);
+        }
+        Self {
+            words,
+            masks,
+            runtimes,
+            universe,
+        }
+    }
+
+    /// Number of candidates in the mask table.
+    pub fn candidates(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Number of distinct defects (bits) in the universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+/// Reusable buffers for [`celf_core`] — hold one across selection rounds
+/// to keep the hot loop allocation-free.
+#[derive(Debug, Default)]
+pub struct CelfScratch {
+    covered: Vec<u64>,
+    chosen: Vec<bool>,
+    marginal: Vec<u32>,
+    heap: Vec<CelfEntry>,
+}
+
+/// One priority-queue entry: a candidate and its efficiency upper bound
+/// for the current round.
+#[derive(Debug, Clone, Copy)]
+struct CelfEntry {
+    bound: f64,
+    index: u32,
+}
+
+/// Heap priority: higher bound first; equal bounds resolve to the lower
+/// candidate index, matching the eager loop's keep-the-earliest tie
+/// handling. Numeric (not total-order) comparison on purpose: the eager
+/// path compares efficiencies numerically.
+fn celf_better(a: CelfEntry, b: CelfEntry) -> bool {
+    a.bound > b.bound || (a.bound == b.bound && a.index < b.index)
+}
+
+/// Covered fraction with the batch path's empty-universe convention
+/// ([`CoverageTable::coverage`] returns 0 with no history).
+fn celf_fraction(count: usize, universe: usize) -> f64 {
+    if universe == 0 {
+        0.0
+    } else {
+        count as f64 / universe as f64
+    }
+}
+
+/// The eager loop's efficiency expression, operation for operation:
+/// `(p − p_joint·(1 − C_with)) / runtime`. Weakly monotone in
+/// `covered_with` even under IEEE rounding (every step — conversion,
+/// division by a positive constant, subtraction from a constant,
+/// multiplication by a non-negative constant — is monotone, and rounding
+/// preserves weak order), which is what makes cached marginal counts
+/// usable as exact efficiency upper bounds.
+fn celf_efficiency(
+    p: f64,
+    p_joint: f64,
+    covered_with: usize,
+    universe: usize,
+    runtime: f64,
+) -> f64 {
+    let residual = p_joint * (1.0 - celf_fraction(covered_with, universe));
+    (p - residual) / runtime
+}
+
+/// Sift entry `i` down to its heap position.
+///
+/// Swaps are spelled out manually: `<[T]>::swap` would add a
+/// name-collision edge to every workspace `swap` method in the
+/// over-approximating A003 call graph, and `celf_core` is an enforced
+/// allocation-free entry.
+#[allow(clippy::manual_swap)]
+fn celf_sift_down(heap: &mut [CelfEntry], mut i: usize) {
+    loop {
+        let left = 2 * i + 1;
+        if left >= heap.len() {
+            return;
+        }
+        let right = left + 1;
+        let mut top = if celf_better(heap[left], heap[i]) {
+            left
+        } else {
+            i
+        };
+        if right < heap.len() && celf_better(heap[right], heap[top]) {
+            top = right;
+        }
+        if top == i {
+            return;
+        }
+        let tmp = heap[i];
+        heap[i] = heap[top];
+        heap[top] = tmp;
+        i = top;
+    }
+}
+
+/// Floyd heap construction over the freshly refilled entry buffer.
+fn celf_heapify(heap: &mut [CelfEntry]) {
+    let mut i = heap.len() / 2;
+    while i > 0 {
+        i -= 1;
+        celf_sift_down(heap, i);
+    }
+}
+
+/// Pops the max-priority entry.
+///
+/// Manual swap for the same A003 reason as [`celf_sift_down`].
+#[allow(clippy::manual_swap)]
+fn celf_pop_top(heap: &mut Vec<CelfEntry>) -> Option<CelfEntry> {
+    if heap.len() > 1 {
+        let last = heap.len() - 1;
+        let tmp = heap[0];
+        heap[0] = heap[last];
+        heap[last] = tmp;
+    }
+    let top = heap.pop();
+    celf_sift_down(heap, 0);
+    top
+}
+
+/// Popcount of candidate `c`'s mask row.
+fn celf_row_popcount(masks: &CoverageMasks, c: usize) -> u32 {
+    let row = &masks.masks[c * masks.words..(c + 1) * masks.words];
+    let mut count = 0u32;
+    for &word in row {
+        count += word.count_ones();
+    }
+    count
+}
+
+/// Popcount of `covered ∪ mask(c)` without materialising the union.
+fn celf_union_popcount(masks: &CoverageMasks, covered: &[u64], c: usize) -> usize {
+    let row = &masks.masks[c * masks.words..(c + 1) * masks.words];
+    let mut count = 0usize;
+    for (w, &word) in row.iter().enumerate() {
+        count += (covered[w] | word).count_ones() as usize;
+    }
+    count
+}
+
+/// ORs candidate `c`'s mask row into the covered set.
+fn celf_or_row(covered: &mut [u64], masks: &CoverageMasks, c: usize) {
+    let row = &masks.masks[c * masks.words..(c + 1) * masks.words];
+    for (w, &word) in row.iter().enumerate() {
+        covered[w] |= word;
+    }
+}
+
+/// Total popcount of the covered set.
+fn celf_popcount(covered: &[u64]) -> usize {
+    let mut count = 0usize;
+    for &word in covered {
+        count += word.count_ones() as usize;
+    }
+    count
+}
+
+/// The CELF selection loop. Appends the chosen candidate indices (into
+/// the mask table's candidate order) to `selected` and returns how many
+/// full coverage-union evaluations were performed — the work the lazy
+/// queue saves relative to eager's `rounds × candidates`.
+///
+/// # Equivalence to the eager loop
+///
+/// Each candidate carries its marginal defect *count* from its most
+/// recent evaluation. Marginal counts are exact integers and
+/// non-increasing as the covered set grows (submodularity), so a cached
+/// count is an upper bound on the current one. At the start of each
+/// round every unselected candidate's cached count is converted to an
+/// efficiency *bound* through [`celf_efficiency`] with the **current**
+/// residual `p` — by that function's float monotonicity the bound is
+/// `≥` the candidate's true current efficiency, with bit-exact equality
+/// when the cached count is still fresh. The queue then yields
+/// candidates in `(bound desc, index asc)` order; each is re-evaluated
+/// until the incumbent best can no longer be beaten (nor tied by a
+/// smaller index). The surviving `(max efficiency, min index)` pick is
+/// exactly the eager scan's keep-the-earliest argmax, so the selected
+/// sequence — and every residual-probability update that follows — is
+/// bit-identical.
+pub fn celf_core(
+    masks: &CoverageMasks,
+    p_joint: f64,
+    p0: f64,
+    scratch: &mut CelfScratch,
+    selected: &mut Vec<u32>,
+) -> u64 {
+    selected.clear();
+    let n = masks.runtimes.len();
+    scratch.covered.clear();
+    scratch.covered.resize(masks.words, 0);
+    scratch.chosen.clear();
+    scratch.chosen.resize(n, false);
+    scratch.marginal.clear();
+    scratch.marginal.resize(n, 0);
+    // Seed the stale marginals with each candidate's own defect count —
+    // its exact marginal against the empty covered set.
+    for c in 0..n {
+        scratch.marginal[c] = celf_row_popcount(masks, c);
+    }
+    let mut count = 0usize;
+    let mut p = p_joint * (1.0 - celf_fraction(count, masks.universe));
+    let mut evaluations = 0u64;
+    while p > p0 && selected.len() < n {
+        // Refresh every unselected candidate's bound against the current
+        // residual. This is O(n) float work; the expensive coverage
+        // unions below run only until the incumbent is provably best.
+        scratch.heap.clear();
+        for c in 0..n {
+            if scratch.chosen[c] {
+                continue;
+            }
+            let with = count + scratch.marginal[c] as usize;
+            let bound = celf_efficiency(p, p_joint, with, masks.universe, masks.runtimes[c]);
+            scratch.heap.push(CelfEntry {
+                bound,
+                index: c as u32,
+            });
+        }
+        celf_heapify(&mut scratch.heap);
+        let mut best: Option<(f64, u32)> = None;
+        while let Some(top) = celf_pop_top(&mut scratch.heap) {
+            if let Some((best_eff, best_index)) = best {
+                // Remaining bounds are ≤ this one; once the incumbent can
+                // neither be beaten nor tied by a smaller index, stop.
+                if top.bound < best_eff || (top.bound == best_eff && best_index < top.index) {
+                    break;
+                }
+            }
+            let c = top.index as usize;
+            let with = celf_union_popcount(masks, &scratch.covered, c);
+            scratch.marginal[c] = (with - count) as u32;
+            evaluations += 1;
+            let efficiency = celf_efficiency(p, p_joint, with, masks.universe, masks.runtimes[c]);
+            let replace = match best {
+                None => true,
+                Some((best_eff, best_index)) => {
+                    efficiency > best_eff || (efficiency == best_eff && top.index < best_index)
+                }
+            };
+            if replace {
+                best = Some((efficiency, top.index));
+            }
+        }
+        let Some((efficiency, index)) = best else {
+            break;
+        };
+        if efficiency <= 0.0 && !selected.is_empty() {
+            // No remaining benchmark reduces the probability: adding more
+            // wastes node hours.
+            break;
+        }
+        selected.push(index);
+        scratch.chosen[index as usize] = true;
+        celf_or_row(&mut scratch.covered, masks, index as usize);
+        count = celf_popcount(&scratch.covered);
+        p = p_joint * (1.0 - celf_fraction(count, masks.universe));
+    }
+    evaluations
 }
 
 /// Selector configuration.
@@ -370,6 +726,64 @@ mod tests {
         assert!(life.state().is_healthy());
         // On a healthy node a clear is a no-op the caller must gate on.
         assert!(!life.can(LifecycleEvent::RiskCleared));
+    }
+
+    #[test]
+    fn celf_matches_eager_on_the_fixture() {
+        let table = coverage();
+        let model = risky_model();
+        for nodes in [1usize, 2, 8] {
+            for p0 in [0.0, 0.05, 0.2, 0.25, 0.5] {
+                let candidates = [
+                    BenchmarkId::IbHcaLoopback,
+                    BenchmarkId::GpuStress,
+                    BenchmarkId::GpuGemmFp16,
+                ];
+                let set = statuses(nodes);
+                let eager = select_benchmarks_eager(&model, &set, 24.0, &table, &candidates, p0);
+                let celf = select_benchmarks_celf(&model, &set, 24.0, &table, &candidates, p0);
+                assert_eq!(celf, eager, "nodes {nodes}, p0 {p0}");
+            }
+        }
+    }
+
+    #[test]
+    fn celf_admits_first_pick_without_history() {
+        // Empty universe: every efficiency is exactly 0; both paths admit
+        // one benchmark then stop on zero marginal gain.
+        let table = CoverageTable::new();
+        let model = risky_model();
+        let candidates = [BenchmarkId::GpuStress, BenchmarkId::CpuLatency];
+        let eager = select_benchmarks_eager(&model, &statuses(2), 24.0, &table, &candidates, 0.1);
+        let celf = select_benchmarks_celf(&model, &statuses(2), 24.0, &table, &candidates, 0.1);
+        assert_eq!(celf, eager);
+        assert_eq!(celf.len(), 1);
+    }
+
+    #[test]
+    fn celf_scratch_is_reusable_across_calls() {
+        let table = coverage();
+        let model = risky_model();
+        let candidates = [
+            BenchmarkId::IbHcaLoopback,
+            BenchmarkId::GpuStress,
+            BenchmarkId::GpuGemmFp16,
+        ];
+        let masks = CoverageMasks::build(&table, &candidates);
+        assert_eq!(masks.candidates(), 3);
+        assert_eq!(masks.universe(), 10);
+        let mut scratch = CelfScratch::default();
+        let mut picks = Vec::new();
+        let set = statuses(2);
+        let p_joint = joint_incident_probability(&model, &set, 24.0);
+        let evals_first = celf_core(&masks, p_joint, 0.05, &mut scratch, &mut picks);
+        let first = picks.clone();
+        let evals_second = celf_core(&masks, p_joint, 0.05, &mut scratch, &mut picks);
+        assert_eq!(picks, first, "stale scratch state must not leak");
+        assert_eq!(evals_first, evals_second);
+        // The lazy queue must not evaluate more unions than eager's
+        // rounds × remaining-candidates rescan would.
+        assert!(evals_first <= (first.len() as u64 + 1) * candidates.len() as u64);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use anubis_benchsuite::BenchmarkId;
 use anubis_selector::{
-    model_accuracy, select_benchmarks, CoverageTable, ExponentialModel, ExponentialPerCountModel,
-    NodeStatus, SurvivalModel, SurvivalSample,
+    model_accuracy, select_benchmarks, select_benchmarks_celf, select_benchmarks_eager,
+    CoverageTable, ExponentialModel, ExponentialPerCountModel, NodeStatus, SurvivalModel,
+    SurvivalSample,
 };
 use proptest::prelude::*;
 
@@ -40,6 +41,35 @@ proptest! {
         let before = residual_probability(&model, &statuses, 36.0, &table, &[]);
         let after = residual_probability(&model, &statuses, 36.0, &table, &subset);
         prop_assert!(after <= before + 1e-12);
+    }
+
+    /// The lazy-greedy (CELF) path returns the eager scan's exact
+    /// benchmark sequence — same identities, same order — for arbitrary
+    /// coverage histories, candidate lists, risk levels and thresholds.
+    /// Runtime ratios in the suite make real-value efficiency ties
+    /// common (e.g. marginal 2 over 4 minutes vs 1 over 2), so this also
+    /// exercises the keep-the-earliest tie handling at full bit
+    /// fidelity.
+    #[test]
+    fn celf_selection_is_bit_identical_to_eager(
+        table in coverage_strategy(),
+        candidate_mask in 0u32..(1u32 << 31),
+        rate_inv in 20.0f64..2000.0,
+        p0 in 0.0f64..0.9,
+        nodes in 1usize..16,
+    ) {
+        let candidates: Vec<BenchmarkId> = BenchmarkId::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| candidate_mask & (1 << i) != 0)
+            .map(|(_, &b)| b)
+            .collect();
+        let model = ExponentialModel { rate: 1.0 / rate_inv };
+        let statuses = vec![NodeStatus::fresh(); nodes];
+        let eager =
+            select_benchmarks_eager(&model, &statuses, 36.0, &table, &candidates, p0);
+        let celf = select_benchmarks_celf(&model, &statuses, 36.0, &table, &candidates, p0);
+        prop_assert_eq!(celf, eager);
     }
 
     /// Coverage is monotone and bounded for arbitrary histories.

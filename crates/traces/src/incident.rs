@@ -260,6 +260,21 @@ impl IncidentTrace {
         self.events.iter().filter(|e| e.node == node).collect()
     }
 
+    /// All nodes' incidents bucketed in one pass over the trace —
+    /// `buckets[n]` holds node `n`'s events in start-hour order, exactly
+    /// the list [`IncidentTrace::events_of`] would filter out, without
+    /// the per-node full scan (which made every whole-trace statistic
+    /// quadratic).
+    pub fn events_by_node(&self) -> Vec<Vec<&IncidentEvent>> {
+        let mut buckets: Vec<Vec<&IncidentEvent>> = vec![Vec::new(); self.config.nodes as usize];
+        for e in &self.events {
+            if let Some(bucket) = buckets.get_mut(e.node as usize) {
+                bucket.push(e);
+            }
+        }
+        buckets
+    }
+
     /// Figure 1: fraction of incidents per source category.
     pub fn source_histogram(&self) -> Vec<(IncidentCategory, f64)> {
         let mut counts = std::collections::BTreeMap::new();
@@ -280,8 +295,9 @@ impl IncidentTrace {
     /// hours, nodes)` rows for indices with at least `min_nodes` nodes.
     pub fn mean_gap_by_incident_index(&self, min_nodes: usize) -> Vec<(usize, f64, usize)> {
         let mut sums: Vec<(f64, usize)> = Vec::new();
-        for node in 0..self.config.nodes {
-            let events = self.events_of(node);
+        // Node-major, per-node time order: the same accumulation sequence
+        // as the per-node filter scans, at O(N + E) instead of O(N × E).
+        for events in self.events_by_node() {
             let mut prev_end = 0.0f64;
             for (i, e) in events.iter().enumerate() {
                 let gap = e.start_hour - prev_end;
@@ -304,9 +320,11 @@ impl IncidentTrace {
     /// over `job_nodes` nodes whose members all have `incident_index`
     /// incidents, assuming a constant per-node rate of `1 / mean gap`.
     pub fn job_time_to_failure(&self, incident_index: usize, job_nodes: usize) -> Option<f64> {
-        let gaps = self.mean_gap_by_incident_index(1);
-        let (_, mean_gap, _) = gaps.iter().find(|(i, _, _)| *i == incident_index)?;
-        Some(mean_gap / job_nodes.max(1) as f64)
+        job_time_to_failure_from(
+            &self.mean_gap_by_incident_index(1),
+            incident_index,
+            job_nodes,
+        )
     }
 
     /// Extracts survival samples (the Table 3 dataset): node status
@@ -315,8 +333,7 @@ impl IncidentTrace {
     /// (censored at trace end).
     pub fn survival_samples(&self, grid_hours: f64) -> Vec<SurvivalSample> {
         let mut samples = Vec::new();
-        for node in 0..self.config.nodes {
-            let events = self.events_of(node);
+        for events in self.events_by_node() {
             let mut snapshots: Vec<f64> = Vec::new();
             let mut t = grid_hours;
             while t < self.config.duration_hours {
@@ -326,27 +343,35 @@ impl IncidentTrace {
             snapshots.extend(events.iter().map(|e| e.start_hour + e.ticket_hours));
             snapshots.sort_by(f64::total_cmp);
 
+            // Snapshots ascend, so the status prefix (all events strictly
+            // before the snapshot) only ever grows: extend a running base
+            // status once per event instead of replaying the node's whole
+            // history per snapshot. The advance/record call sequence —
+            // and therefore every accumulated float — is exactly the
+            // per-snapshot replay's.
+            let mut base = NodeStatus::fresh();
+            let mut last_event_end = 0.0f64;
+            let mut next_idx = 0usize;
             for &snap in &snapshots {
                 if snap >= self.config.duration_hours {
                     continue;
                 }
-                // Status at the snapshot.
-                let mut status = NodeStatus::fresh();
-                let mut last_event_end = 0.0f64;
-                for e in &events {
+                while let Some(e) = events.get(next_idx) {
                     if e.start_hour >= snap {
                         break;
                     }
-                    status.advance(e.start_hour - last_event_end);
-                    status.record_incident(e.category);
+                    base.advance(e.start_hour - last_event_end);
+                    base.record_incident(e.category);
                     last_event_end = e.start_hour + e.ticket_hours;
+                    next_idx += 1;
                 }
+                // Status at the snapshot.
+                let mut status = base.clone();
                 if snap > last_event_end {
                     status.advance(snap - last_event_end);
                 }
                 // Time to next incident.
-                let next = events.iter().find(|e| e.start_hour >= snap);
-                let (duration, event) = match next {
+                let (duration, event) = match events.get(next_idx) {
                     Some(e) => (e.start_hour - snap, true),
                     None => (self.config.duration_hours - snap, false),
                 };
@@ -362,6 +387,20 @@ impl IncidentTrace {
         }
         samples
     }
+}
+
+/// Looks up the Figure 4 (right) expected time to failure in a
+/// precomputed gap table (one row per incident index from
+/// [`IncidentTrace::mean_gap_by_incident_index`]), so callers plotting
+/// many job sizes reuse one table instead of recomputing the whole-trace
+/// statistic per point.
+pub fn job_time_to_failure_from(
+    gaps: &[(usize, f64, usize)],
+    incident_index: usize,
+    job_nodes: usize,
+) -> Option<f64> {
+    let (_, mean_gap, _) = gaps.iter().find(|(i, _, _)| *i == incident_index)?;
+    Some(mean_gap / job_nodes.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -429,6 +468,31 @@ mod tests {
             later < first * 0.7,
             "wear visible: first {first:.1}h vs later {later:.1}h"
         );
+    }
+
+    #[test]
+    fn bucketed_events_match_per_node_filters() {
+        let trace = small_trace();
+        let buckets = trace.events_by_node();
+        assert_eq!(buckets.len(), trace.config.nodes as usize);
+        for node in 0..trace.config.nodes {
+            assert_eq!(buckets[node as usize], trace.events_of(node), "node {node}");
+        }
+    }
+
+    #[test]
+    fn gap_table_lookup_matches_direct_computation() {
+        let trace = small_trace();
+        let gaps = trace.mean_gap_by_incident_index(1);
+        for index in [1usize, 2, 5] {
+            for job_nodes in [1usize, 8, 1024] {
+                assert_eq!(
+                    job_time_to_failure_from(&gaps, index, job_nodes),
+                    trace.job_time_to_failure(index, job_nodes)
+                );
+            }
+        }
+        assert_eq!(job_time_to_failure_from(&gaps, 100_000, 4), None);
     }
 
     #[test]

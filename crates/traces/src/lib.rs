@@ -28,6 +28,6 @@ pub use codec::{
 };
 pub use dataset::{generate_buildout_fleet, BuildoutConfig};
 pub use incident::{
-    generate_incident_trace, sample_fault_for_category, IncidentEvent, IncidentTrace,
-    IncidentTraceConfig, SourceMix, TicketDurationModel,
+    generate_incident_trace, job_time_to_failure_from, sample_fault_for_category, IncidentEvent,
+    IncidentTrace, IncidentTraceConfig, SourceMix, TicketDurationModel,
 };

@@ -69,6 +69,24 @@ pub fn calculate_criteria(
         CentroidMethod::Medoid => Vec::new(),
         CentroidMethod::DistributionMean => samples.iter().map(Ecdf::new).collect(),
     };
+    cluster_from_matrix(samples, &similarity, &ecdfs, alpha, method)
+}
+
+/// The Algorithm 2 clustering loop over a precomputed similarity matrix.
+///
+/// Shared by the batch path above and the incremental
+/// [`crate::CriteriaCache`]: the loop is a pure function of the matrix
+/// (and, for the distribution-mean method, the per-sample ECDFs), so any
+/// path that supplies a bit-identical matrix gets a bit-identical
+/// [`CriteriaResult`]. `ecdfs` may be empty for [`CentroidMethod::Medoid`]
+/// and must cover every sample for [`CentroidMethod::DistributionMean`].
+pub(crate) fn cluster_from_matrix(
+    samples: &[Sample],
+    similarity: &[Vec<f64>],
+    ecdfs: &[Ecdf],
+    alpha: f64,
+    method: CentroidMethod,
+) -> Result<CriteriaResult, MetricsError> {
     let n = samples.len();
     let mut healthy: Vec<usize> = (0..n).collect();
     let mut defects: Vec<usize> = Vec::new();
@@ -76,7 +94,7 @@ pub fn calculate_criteria(
 
     loop {
         iterations += 1;
-        let centroid_idx = medoid_of(&healthy, &similarity);
+        let centroid_idx = medoid_of(&healthy, similarity);
         // Similarity of each healthy sample to the current centroid. For
         // the medoid method this reads straight from the matrix; for the
         // distribution mean we build the mean sample and compare.

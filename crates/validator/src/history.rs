@@ -10,6 +10,7 @@
 
 use crate::criteria::{calculate_criteria, CentroidMethod, CriteriaResult};
 use crate::filter::{Criteria, DefectFilter};
+use crate::incremental::CriteriaCache;
 use anubis_benchsuite::{BenchmarkId, RunData};
 use anubis_metrics::{MetricsError, Sample};
 use std::collections::BTreeMap;
@@ -94,6 +95,50 @@ impl CriteriaHistory {
         }
         Ok(results)
     }
+
+    /// [`CriteriaHistory::relearn`] through per-benchmark
+    /// [`CriteriaCache`]s: while a benchmark's window is still growing,
+    /// only the matrix rows its new samples touch are integrated; once
+    /// the window starts evicting, that benchmark's cache rebuilds. The
+    /// caller owns `caches` so the state survives across learning
+    /// cycles. Results (and the criteria installed into `filter`) are
+    /// bit-identical to the batch [`CriteriaHistory::relearn`].
+    pub fn relearn_incremental(
+        &self,
+        caches: &mut BTreeMap<BenchmarkId, CriteriaCache>,
+        filter: &mut DefectFilter,
+        alpha: f64,
+        centroid: CentroidMethod,
+        min_samples: usize,
+    ) -> Result<BTreeMap<BenchmarkId, CriteriaResult>, MetricsError> {
+        let mut results = BTreeMap::new();
+        for (&bench, queue) in &self.samples {
+            if queue.len() < min_samples.max(1) {
+                continue;
+            }
+            let cache = match caches.entry(bench) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(CriteriaCache::new(alpha, centroid)?)
+                }
+            };
+            if cache.alpha() != alpha || cache.method() != centroid {
+                *cache = CriteriaCache::new(alpha, centroid)?;
+            }
+            cache.sync(queue.iter());
+            let result = cache.result()?;
+            filter.set_criteria(
+                bench,
+                Criteria {
+                    sample: result.criteria.clone(),
+                    direction: bench.spec().direction,
+                    alpha,
+                },
+            );
+            results.insert(bench, result);
+        }
+        Ok(results)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +208,31 @@ mod tests {
             .unwrap();
         assert!(results.is_empty());
         assert!(filter.criteria_for(BenchmarkId::CpuLatency).is_none());
+    }
+
+    #[test]
+    fn incremental_relearn_matches_batch_across_eviction() {
+        let mut history = CriteriaHistory::new(12).unwrap();
+        let mut caches = BTreeMap::new();
+        for round in 0..4u32 {
+            // 6 samples per round: the window grows for two rounds, then
+            // evicts — exercising both the incremental and rebuild paths.
+            let values: Vec<f64> = (0..6).map(|i| 300.0 + f64::from(round * 6 + i)).collect();
+            history.absorb(&run_data(BenchmarkId::GpuGemmFp16, &values));
+            let mut batch_filter = DefectFilter::new();
+            let mut inc_filter = DefectFilter::new();
+            let batch = history
+                .relearn(&mut batch_filter, 0.9, CentroidMethod::Medoid, 1)
+                .unwrap();
+            let incremental = history
+                .relearn_incremental(&mut caches, &mut inc_filter, 0.9, CentroidMethod::Medoid, 1)
+                .unwrap();
+            assert_eq!(batch, incremental, "round {round}");
+            assert_eq!(
+                batch_filter.criteria_for(BenchmarkId::GpuGemmFp16),
+                inc_filter.criteria_for(BenchmarkId::GpuGemmFp16)
+            );
+        }
     }
 
     #[test]

@@ -146,6 +146,15 @@ impl Default for AnalysisConfig {
             ),
             HotEntry::tracked("metrics/src/distance.rs", "upper_triangle_similarities"),
             HotEntry::enforced("metrics/src/distance.rs", "integrate_ecdf"),
+            // Incremental statistical core (PR 7): the three steady-state
+            // kernels run once per benchmark result on the fleet path, so
+            // any allocation in their reach is a hard failure. Each was
+            // written against the collision list in crate::callgraph
+            // (manual swaps instead of `<[T]>::swap`, no calls to names a
+            // workspace method shares).
+            HotEntry::enforced("metrics/src/distance.rs", "similarity_rows_into"),
+            HotEntry::enforced("selector/src/select.rs", "celf_core"),
+            HotEntry::enforced("selector/src/coxtime.rs", "warmstart_merge_into"),
             // MLP forward/backward and the optimizer step: the PR 2 hoist
             // left the kernels allocation-free, so the ones whose reach is
             // free of name-collision edges are enforced. The two forward
