@@ -28,6 +28,9 @@ ANUBIS_BENCH_QUICK=1 ANUBIS_BENCH_JSON="$(pwd)/target/bench-current.jsonl" \
     cdf_distance one_sided_distance criteria/algorithm2 criteria/incremental \
     selection/algorithm1 selection/celf coxtime/expected_tbni \
     coxtime/incident_probability coxtime/warmstart scan/full json/serialize
+# The analyzer's own fixpoint engine is a tracked kernel too.
+ANUBIS_BENCH_QUICK=1 ANUBIS_BENCH_JSON="$(pwd)/target/bench-current.jsonl" \
+    cargo bench -p anubis-xtask --offline
 cargo run -p anubis-xtask --offline -- perfgate
 
 echo "==> release build"

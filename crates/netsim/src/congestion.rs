@@ -1,7 +1,7 @@
 //! Max–min fair bandwidth allocation (progressive filling).
 
 use crate::topology::EdgeKey;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A greedy flow: wants as much bandwidth as its path allows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,8 +33,11 @@ pub fn max_min_rates(flows: &[Flow], capacity: impl Fn(EdgeKey) -> f64) -> Vec<f
         return rates;
     }
 
-    // Edge -> (remaining capacity, unfrozen flow indices).
-    let mut edges: HashMap<EdgeKey, (f64, Vec<usize>)> = HashMap::new();
+    // Edge -> (remaining capacity, unfrozen flow indices). Ordered map:
+    // the bottleneck search below keeps the first edge on a tied share,
+    // so iteration order is load-bearing — `BTreeMap` pins the tie-break
+    // to `EdgeKey` order regardless of hasher seeding.
+    let mut edges: BTreeMap<EdgeKey, (f64, Vec<usize>)> = BTreeMap::new();
     for (i, flow) in flows.iter().enumerate() {
         for &edge in &flow.path {
             edges

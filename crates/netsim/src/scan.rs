@@ -99,7 +99,7 @@ pub fn quick_scan_rounds(tree: &FatTree) -> Result<Vec<Vec<(usize, usize)>>, Net
 /// twice in a round). Returns the offending round index if any.
 pub fn find_conflicting_round(rounds: &[Vec<(usize, usize)>]) -> Option<usize> {
     for (i, round) in rounds.iter().enumerate() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(a, b) in round {
             if !seen.insert(a) || !seen.insert(b) {
                 return Some(i);

@@ -61,7 +61,7 @@ pub const INCREMENTAL_ENV: &str = "ANUBIS_INCREMENTAL";
 /// Whether the incremental statistical paths are enabled (the default).
 /// See [`INCREMENTAL_ENV`].
 pub fn incremental_enabled() -> bool {
-    std::env::var(INCREMENTAL_ENV).map_or(true, |v| v.trim() != "0")
+    anubis_config::enabled(INCREMENTAL_ENV, true)
 }
 
 /// Workloads at or below this many chunks bypass the thread pool: on a
@@ -78,10 +78,7 @@ pub const SERIAL_CHUNK_CUTOFF: usize = 2;
 /// Only wall-clock time depends on this; every executor entry point is
 /// bit-deterministic across thread counts.
 pub fn auto_threads() -> usize {
-    let configured = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(0);
+    let configured = anubis_config::parsed::<usize>(THREADS_ENV).unwrap_or(0);
     let threads = if configured == 0 {
         thread::available_parallelism().map_or(1, usize::from)
     } else {

@@ -1,0 +1,25 @@
+//! Perf-gate kernel for the analyzer itself: the interprocedural
+//! fixpoint engine runs on every CI push, so its wall-time is tracked in
+//! BENCH_2.json like any hot kernel — a summary-propagation change that
+//! blows up analysis time fails `cargo xtask perfgate` before it lands.
+
+use anubis_xtask::model::Workspace;
+use anubis_xtask::passes::{run_analysis, AnalysisConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn bench_analyze(c: &mut Criterion) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::scan(&root).expect("scan workspace");
+    let config = AnalysisConfig::default();
+    // The full pass pipeline on the real tree: call graph, effect
+    // summaries, all seven passes. Scanning is excluded — it is I/O
+    // bound and measured indirectly by every other CI step.
+    c.bench_function("xtask/analyze-passes", |bencher| {
+        bencher.iter(|| black_box(run_analysis(black_box(&ws), black_box(&config))));
+    });
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

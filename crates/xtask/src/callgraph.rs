@@ -13,6 +13,12 @@
 //!   `Vec`, `String`, `f64`) resolves to no edge at all: the callee is
 //!   foreign, and foreign panics are modeled by the passes' direct token
 //!   scans, not by the graph.
+//! - **Crate-qualified calls** (`anubis_parallel::map_chunks(..)`,
+//!   `crate::helper(..)`) resolve to the free functions of that crate
+//!   directory sharing the name (`anubis` itself maps to `crates/core`,
+//!   `crate` to the caller's own crate). Without this rule, cross-crate
+//!   facade calls — exactly the ones the interprocedural taint pass must
+//!   follow — would produce no edges at all.
 //! - **Method calls** (`recv.f(..)`) resolve to every workspace function
 //!   named `f` that takes `self` — the receiver's type is unknown at the
 //!   token level, so all impls are candidates. Names on the
@@ -188,21 +194,26 @@ impl Reach {
     }
 }
 
-/// Name-keyed lookup tables for call resolution.
-struct NameIndex {
+/// Name-keyed lookup tables for call resolution. `pub(crate)` so the A007
+/// pass can resolve the calls of one closure body in isolation.
+pub(crate) struct NameIndex {
     /// Method name → indices of fns taking `self` (or any impl fn).
     methods: BTreeMap<String, Vec<usize>>,
     /// Free name → indices of fns not taking `self` and outside impls.
     free: BTreeMap<String, Vec<usize>>,
     /// `Type::name` or `stem::name` → indices (qualified resolution).
     qualified: BTreeMap<(String, String), Vec<usize>>,
+    /// `(crate_dir, name)` → indices of that crate's free fns, for
+    /// crate-qualified calls (`anubis_parallel::map_chunks`).
+    crate_free: BTreeMap<(String, String), Vec<usize>>,
 }
 
 impl NameIndex {
-    fn build(ws: &Workspace) -> Self {
+    pub(crate) fn build(ws: &Workspace) -> Self {
         let mut methods: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut free: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut qualified: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut crate_free: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         for (i, item) in ws.fns.iter().enumerate() {
             if item.in_test {
                 continue;
@@ -220,6 +231,10 @@ impl NameIndex {
                 }
             } else {
                 free.entry(item.name.clone()).or_default().push(i);
+                crate_free
+                    .entry((ws.files[item.file].crate_name.clone(), item.name.clone()))
+                    .or_default()
+                    .push(i);
             }
             // Module-style qualification: `stem::name(..)`.
             let stem = ws.files[item.file].stem.clone();
@@ -232,10 +247,24 @@ impl NameIndex {
             methods,
             free,
             qualified,
+            crate_free,
         }
     }
 
-    fn resolve(&self, ws: &Workspace, caller: usize, call: &Call) -> Vec<usize> {
+    /// The crate directory a qualifier names, if any: `anubis_parallel` →
+    /// `parallel`, `anubis` → `core` (the package at `crates/core`),
+    /// `crate` → the caller's own crate directory.
+    fn qualifier_crate(ws: &Workspace, caller: usize, qualifier: &str) -> Option<String> {
+        if qualifier == "crate" {
+            return Some(ws.files[ws.fns[caller].file].crate_name.clone());
+        }
+        if qualifier == "anubis" {
+            return Some("core".to_owned());
+        }
+        qualifier.strip_prefix("anubis_").map(str::to_owned)
+    }
+
+    pub(crate) fn resolve(&self, ws: &Workspace, caller: usize, call: &Call) -> Vec<usize> {
         match call.kind {
             CallKind::Macro => Vec::new(),
             CallKind::Method => {
@@ -257,6 +286,13 @@ impl NameIndex {
                 } else {
                     qualifier.clone()
                 };
+                // Crate-qualified facade call: `anubis_parallel::f(..)` /
+                // `crate::f(..)` edges into that crate's free fns.
+                if let Some(dir) = Self::qualifier_crate(ws, caller, &qualifier) {
+                    if let Some(hits) = self.crate_free.get(&(dir, call.name.clone())) {
+                        return hits.clone();
+                    }
+                }
                 self.qualified
                     .get(&(qualifier, call.name.clone()))
                     .cloned()
@@ -368,6 +404,26 @@ mod tests {
         let top = find(&w, "top");
         let helper = find(&w, "helper");
         assert_eq!(g.edges[top], vec![helper]);
+    }
+
+    #[test]
+    fn crate_qualified_calls_resolve_across_crates() {
+        let w = ws(&[
+            (
+                "crates/selector/src/select.rs",
+                "pub fn pick() { anubis_parallel::map_items(); crate::local(); }\n",
+            ),
+            ("crates/selector/src/lib.rs", "pub fn local() {}\n"),
+            ("crates/parallel/src/lib.rs", "pub fn map_items() {}\n"),
+        ]);
+        let g = CallGraph::build(&w);
+        let pick = find(&w, "pick");
+        let local = find(&w, "local");
+        let map_items = find(&w, "map_items");
+        assert_eq!(
+            g.edges[pick],
+            vec![local.min(map_items), local.max(map_items)]
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod allowlist;
 pub mod callgraph;
 pub mod checks;
+pub mod dataflow;
 pub mod json;
 pub mod mask;
 pub mod model;

@@ -232,9 +232,20 @@ fn analyze(args: &[String]) -> ExitCode {
     }
 
     if write_baseline {
+        // Diff against the previous file so the refresh leaves an audit
+        // trail of exactly which keys it pruned or added. A missing or
+        // malformed previous baseline diffs as empty: every key reports
+        // as added.
+        let previous = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| Baseline::parse(&text).ok())
+            .unwrap_or_default();
         if let Err(error) = std::fs::write(&baseline_path, current.to_json()) {
             eprintln!("cannot write {}: {error}", baseline_path.display());
             return ExitCode::from(2);
+        }
+        for line in anubis_xtask::report::refresh_summary(&previous, &current) {
+            println!("{line}");
         }
         println!(
             "analyze: wrote {} ({} key(s), {} finding(s))",

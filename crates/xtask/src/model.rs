@@ -88,6 +88,27 @@ pub fn tokenize(masked: &[u8]) -> Vec<Token> {
             i += 1;
             continue;
         }
+        // Raw identifier: `r#match` is one identifier token (text kept
+        // verbatim, `r#` included, so raw names never collide with the
+        // keyword lists). Raw *strings* (`r"…"`, `r#"…"#`) were blanked by
+        // the masker and never reach this branch: a `"` is not an
+        // identifier start.
+        if b == b'r'
+            && masked.get(i + 1) == Some(&b'#')
+            && masked.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            let start = i;
+            i += 2;
+            while i < masked.len() && is_ident_byte(masked[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: String::from_utf8_lossy(&masked[start..i]).into_owned(),
+                offset: start,
+            });
+            continue;
+        }
         if is_ident_start(b) {
             let start = i;
             while i < masked.len() && is_ident_byte(masked[i]) {
@@ -665,8 +686,13 @@ fn compute_owned_ranges(fns: &mut [FnItem]) {
     }
 }
 
-/// Extracts call sites from the owned token ranges of one function.
-fn extract_calls(tokens: &[Token], masked: &MaskedSource, owned: &[Range<usize>]) -> Vec<Call> {
+/// Extracts call sites from the owned token ranges of one function. Also
+/// used by A007 to extract the calls of a single closure body sub-range.
+pub(crate) fn extract_calls(
+    tokens: &[Token],
+    masked: &MaskedSource,
+    owned: &[Range<usize>],
+) -> Vec<Call> {
     let mut calls = Vec::new();
     for range in owned {
         for i in range.clone() {

@@ -8,6 +8,14 @@
 //! function — `Vec::new`/`with_capacity`, `vec!`, `to_vec`, `clone`,
 //! `collect`, `format!`, `Box::new`, `to_owned`, `to_string`.
 //!
+//! The allocation sites themselves come from the interprocedural effect
+//! summaries ([`crate::dataflow`]): each function's direct sites are
+//! extracted once, and [`Summaries::alloc_dist`] propagates the
+//! allocation effect through the call graph, so an enforced entry's
+//! verdict — allocation-free or not — is a summary lookup that wrapper
+//! shuffles cannot dodge (moving the allocation one call deeper changes
+//! the distance, never the verdict).
+//!
 //! The pass cannot tell a one-time setup allocation from a per-iteration
 //! one (no loop structure at the token level); existing deliberate
 //! allocations live in the baseline, and the gate fires only when *new*
@@ -17,27 +25,19 @@
 
 use super::{path_string, AnalysisConfig, Finding};
 use crate::callgraph::CallGraph;
-use crate::model::{CallKind, TokenKind, Workspace};
+use crate::dataflow::Summaries;
+use crate::model::Workspace;
 
-/// Method names that allocate.
-const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect", "clone"];
-
-/// Macro names that allocate.
-const ALLOC_MACROS: &[&str] = &["vec", "format"];
-
-/// `Type::fn` pairs that allocate.
-const ALLOC_QUALIFIED: &[(&str, &str)] = &[
-    ("Vec", "new"),
-    ("Vec", "with_capacity"),
-    ("Box", "new"),
-    ("String", "new"),
-    ("String", "with_capacity"),
-];
-
-/// Runs the pass: flags allocations in every function reachable from a
-/// hot entry point. Findings reachable from an *enforced* entry are
-/// marked [`Finding::enforced`] and become hard failures downstream.
-pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Finding> {
+/// Runs the pass: flags the summary-recorded allocation sites of every
+/// function reachable from a hot entry point. Findings reachable from an
+/// *enforced* entry are marked [`Finding::enforced`] and become hard
+/// failures downstream.
+pub fn run(
+    ws: &Workspace,
+    graph: &CallGraph,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> Vec<Finding> {
     let entry_fns = |enforced_only: bool| -> Vec<usize> {
         ws.fns
             .iter()
@@ -62,6 +62,11 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
         if item.in_test || reach.dist[index] == usize::MAX {
             continue;
         }
+        // The summary distance and the forward reach agree by
+        // construction: both walk the same graph. An entry is
+        // allocation-free exactly when `summaries.alloc_dist(entry)` is
+        // `usize::MAX`; the per-site findings below reproduce that
+        // verdict one allocation at a time.
         let enforced = enforced_reach.dist[index] != usize::MAX;
         // Path from the nearest hot entry down to this function.
         let mut entry_path = reach.path_from(index);
@@ -69,88 +74,27 @@ pub fn run(ws: &Workspace, graph: &CallGraph, config: &AnalysisConfig) -> Vec<Fi
         let via = path_string(ws, &entry_path);
         let file_path = &ws.files[item.file].path;
 
-        for call in &item.calls {
-            let kind = match call.kind {
-                CallKind::Method if ALLOC_METHODS.contains(&call.name.as_str()) => {
-                    Some(call.name.clone())
-                }
-                CallKind::Macro if ALLOC_MACROS.contains(&call.name.as_str()) => {
-                    Some(format!("{}!", call.name))
-                }
-                CallKind::Qualified => call.qualifier.as_ref().and_then(|q| {
-                    ALLOC_QUALIFIED
-                        .iter()
-                        .find(|(ty, f)| q == ty && call.name == *f)
-                        .map(|(ty, f)| format!("{ty}::{f}"))
-                }),
-                _ => None,
+        for site in &summaries.alloc_sites[index] {
+            let message = match &site.ctor {
+                Some(ty) => format!(
+                    "turbofish `{ty}::<..>` constructor in `{}`, reachable from hot entry via {via}",
+                    item.qual_name()
+                ),
+                None => format!(
+                    "`{}` allocates in `{}`, reachable from hot entry via {via}",
+                    site.kind,
+                    item.qual_name()
+                ),
             };
-            if let Some(kind) = kind {
-                findings.push(Finding {
-                    code: "A003",
-                    path: file_path.clone(),
-                    line: call.line,
-                    func: item.qual_name(),
-                    kind: kind.clone(),
-                    message: format!(
-                        "`{kind}` allocates in `{}`, reachable from hot entry via {via}",
-                        item.qual_name()
-                    ),
-                    enforced,
-                });
-            }
-        }
-        // `Vec::new` etc. appear as qualified calls already; nothing else
-        // to token-scan, but keep `Box` in expressions like `Box::<T>::new`
-        // covered: the model records the qualifier as the segment before
-        // the call name, which `::<T>` turbofish breaks. Catch those by a
-        // direct token scan.
-        let tokens = &ws.files[item.file].tokens;
-        for (i, token) in ws.body_tokens(item) {
-            if token.kind != TokenKind::Ident {
-                continue;
-            }
-            // `.collect::<Vec<_>>()` — turbofish method calls have `::`
-            // after the name, so the model's call extractor (which wants
-            // `(` immediately after) misses them.
-            if ALLOC_METHODS.contains(&token.text.as_str())
-                && i > 0
-                && tokens[i - 1].text == "."
-                && tokens.get(i + 1).is_some_and(|t| t.text == "::")
-            {
-                findings.push(Finding {
-                    code: "A003",
-                    path: file_path.clone(),
-                    line: ws.line_of(item, i),
-                    func: item.qual_name(),
-                    kind: token.text.clone(),
-                    message: format!(
-                        "`{}` allocates in `{}`, reachable from hot entry via {via}",
-                        token.text,
-                        item.qual_name()
-                    ),
-                    enforced,
-                });
-                continue;
-            }
-            if (token.text == "Vec" || token.text == "Box" || token.text == "String")
-                && tokens.get(i + 1).is_some_and(|t| t.text == "::")
-                && tokens.get(i + 2).is_some_and(|t| t.text == "<")
-            {
-                findings.push(Finding {
-                    code: "A003",
-                    path: file_path.clone(),
-                    line: ws.line_of(item, i),
-                    func: item.qual_name(),
-                    kind: format!("{}::turbofish", token.text),
-                    message: format!(
-                        "turbofish `{}::<..>` constructor in `{}`, reachable from hot entry via {via}",
-                        token.text,
-                        item.qual_name()
-                    ),
-                    enforced,
-                });
-            }
+            findings.push(Finding {
+                code: "A003",
+                path: file_path.clone(),
+                line: site.line,
+                func: item.qual_name(),
+                kind: site.kind.clone(),
+                message,
+                enforced,
+            });
         }
     }
     findings
@@ -175,14 +119,10 @@ mod tests {
     fn analyze_entries(files: &[(&str, &str)], entries: &[super::super::HotEntry]) -> Vec<Finding> {
         let ws = Workspace::from_sources(files.iter().copied());
         let graph = CallGraph::build(&ws);
-        let config = AnalysisConfig {
-            gated_crates: Vec::new(),
-            hot_entries: entries.to_vec(),
-            timing_facades: Vec::new(),
-            lifecycle_crates: Vec::new(),
-            state_types: Vec::new(),
-        };
-        run(&ws, &graph, &config)
+        let mut config = AnalysisConfig::bare();
+        config.hot_entries = entries.to_vec();
+        let summaries = Summaries::compute(&ws, &graph, &config);
+        run(&ws, &graph, &summaries, &config)
     }
 
     #[test]
@@ -251,5 +191,29 @@ mod tests {
         let kinds: Vec<&str> = findings.iter().map(|f| f.kind.as_str()).collect();
         assert!(kinds.contains(&"Vec::new"));
         assert!(kinds.contains(&"format!"));
+    }
+
+    #[test]
+    fn wrapper_shuffle_cannot_dodge_enforcement() {
+        use super::super::HotEntry;
+        // The allocation sits two wrappers deep; the summary distance
+        // still reaches it, so the enforced verdict is unchanged.
+        let findings = analyze_entries(
+            &[(
+                "crates/metrics/src/distance.rs",
+                "pub fn integrate_ecdf(x: &[f64]) { shim(x); }\n\
+                 fn shim(x: &[f64]) { deep(x); }\n\
+                 fn deep(x: &[f64]) { let _v = x.to_vec(); }\n",
+            )],
+            &[HotEntry::enforced(
+                "metrics/src/distance.rs",
+                "integrate_ecdf",
+            )],
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].enforced);
+        assert!(findings[0]
+            .message
+            .contains("integrate_ecdf -> shim -> deep"));
     }
 }

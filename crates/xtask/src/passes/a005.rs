@@ -160,13 +160,10 @@ mod tests {
     fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
         let ws = Workspace::from_sources(files.iter().copied());
         let graph = CallGraph::build(&ws);
-        let config = AnalysisConfig {
-            gated_crates: vec!["cluster".to_owned()],
-            hot_entries: Vec::new(),
-            timing_facades: Vec::new(),
-            lifecycle_crates: vec!["lifecycle".to_owned()],
-            state_types: vec!["NodeState".to_owned()],
-        };
+        let mut config = AnalysisConfig::bare();
+        config.gated_crates = vec!["cluster".to_owned()];
+        config.lifecycle_crates = vec!["lifecycle".to_owned()];
+        config.state_types = vec!["NodeState".to_owned()];
         run(&ws, &graph, &config)
     }
 

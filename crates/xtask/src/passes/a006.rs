@@ -1,0 +1,208 @@
+//! A006 — nondeterminism taint reaching a deterministic root.
+//!
+//! Paper figures and fleet validation verdicts must reproduce
+//! bit-for-bit. A004 flags functions that *directly* touch a
+//! nondeterminism source; this pass is its interprocedural upgrade: using
+//! the effect summaries of [`crate::dataflow`], it reports every
+//! *deterministic root* that can reach a taint source through any call
+//! chain, with the full path printed.
+//!
+//! Deterministic roots are:
+//!
+//! - every non-test function that calls an `anubis-parallel` entry point
+//!   ([`AnalysisConfig::parallel_entries`]) — closures are owned by the
+//!   calling function in the token model, so rooting the caller covers
+//!   the chunk bodies the executor's determinism contract depends on;
+//! - every *public* non-test function in a path from
+//!   [`AnalysisConfig::deterministic_root_paths`] — the experiment
+//!   renderers (`bench/src/experiments/`) whose output is byte-compared,
+//!   and the obs ring-buffer writers whose traces are. Private helpers
+//!   are covered transitively through the public roots.
+//!
+//! Taint sources are the five [`Taint`] kinds: `std::env` reads outside
+//! the `anubis-config` shim, `Instant`/`SystemTime` outside the obs
+//! facade, std hash-container iteration, thread-identity probes outside
+//! the executor, and float reductions over unordered iteration. One
+//! finding per (root, taint kind), baseline-gated like A001 — and the
+//! committed baseline holds zero of them: new taint on a deterministic
+//! root fails CI immediately.
+
+use super::{AnalysisConfig, Finding};
+use crate::callgraph::CallGraph;
+use crate::dataflow::{Summaries, TAINTS};
+use crate::model::{CallKind, Workspace};
+use std::collections::BTreeSet;
+
+/// Runs the pass.
+pub fn run(
+    ws: &Workspace,
+    _graph: &CallGraph,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> Vec<Finding> {
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for (index, item) in ws.fns.iter().enumerate() {
+        if item.in_test {
+            continue;
+        }
+        let file_path = &ws.files[item.file].path;
+        // Only *public* fns root a path-designated file: the renderers and
+        // writers whose output is byte-compared. Their private helpers are
+        // covered transitively — rooting them too would report the same
+        // taint once per frame of the call chain.
+        let in_root_path = item.is_public
+            && config
+                .deterministic_root_paths
+                .iter()
+                .any(|p| file_path.contains(p.as_str()));
+        let calls_executor = item.calls.iter().any(|c| {
+            matches!(c.kind, CallKind::Free | CallKind::Qualified)
+                && config.parallel_entries.contains(&c.name)
+        });
+        // The executor's own internals are sanctioned (and covered by the
+        // A007 exemption rationale): chunk dispatch is not a root.
+        let in_parallel_crate = config
+            .parallel_crates
+            .iter()
+            .any(|c| *c == ws.files[item.file].crate_name);
+        if (in_root_path || calls_executor) && !in_parallel_crate {
+            roots.insert(index);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for &root in &roots {
+        let item = &ws.fns[root];
+        for taint in TAINTS {
+            let dist = summaries.taint_dist(root, taint);
+            if dist == usize::MAX {
+                continue;
+            }
+            let path = summaries.taint_path(root, taint);
+            let &terminal = path.last().expect("non-empty path for reachable taint");
+            let site = summaries
+                .taint_site(terminal, taint)
+                .expect("path terminal has a direct site");
+            let via = path
+                .iter()
+                .map(|&i| ws.fns[i].qual_name())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let where_ = format!("{}:{}", ws.files[ws.fns[terminal].file].path, site.line);
+            let message = if dist == 0 {
+                format!(
+                    "deterministic root `{}` directly touches nondeterminism source `{}` ({where_})",
+                    item.qual_name(),
+                    site.what
+                )
+            } else {
+                format!(
+                    "deterministic root `{}` reaches nondeterminism source `{}` ({where_}) via {via}",
+                    item.qual_name(),
+                    site.what
+                )
+            };
+            findings.push(Finding {
+                code: "A006",
+                path: ws.files[item.file].path.clone(),
+                line: if dist == 0 { site.line } else { item.line },
+                func: item.qual_name(),
+                kind: taint.slug().to_owned(),
+                message,
+                enforced: false,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::model::Workspace;
+
+    fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+        let ws = Workspace::from_sources(files.iter().copied());
+        let graph = CallGraph::build(&ws);
+        let config = AnalysisConfig::default();
+        let summaries = Summaries::compute(&ws, &graph, &config);
+        run(&ws, &graph, &summaries, &config)
+    }
+
+    #[test]
+    fn env_read_two_calls_deep_taints_an_experiment_renderer() {
+        let findings = analyze(&[(
+            "crates/bench/src/experiments/fig0.rs",
+            "pub fn run() { helper(); }\n\
+             fn helper() { deep(); }\n\
+             fn deep() { let _ = std::env::var(\"HOME\"); }\n",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        let f = &findings[0];
+        assert_eq!(f.code, "A006");
+        assert_eq!(f.kind, "env-read");
+        assert_eq!(f.func, "run");
+        assert!(f.message.contains("run -> helper -> deep"), "{}", f.message);
+        assert!(f.message.contains("std::env::var"), "{}", f.message);
+    }
+
+    #[test]
+    fn parallel_caller_with_hash_iteration_in_chunk_body_is_flagged() {
+        let findings = analyze(&[(
+            "crates/traces/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             pub fn render(m: &HashMap<u32, f64>) -> Vec<f64> {\n\
+                 anubis_parallel::map_indexed(4, 0, |_i| m.values().copied().next().unwrap_or(0.0))\n\
+             }\n",
+        )]);
+        // The chunk closure is owned by `render`, so the HashIter site is
+        // a distance-0 taint on the root.
+        let hash: Vec<_> = findings
+            .iter()
+            .filter(|f| f.kind == "hash-iteration")
+            .collect();
+        assert_eq!(hash.len(), 1, "{findings:#?}");
+        assert!(hash[0].message.contains("directly touches"));
+    }
+
+    #[test]
+    fn clean_roots_report_nothing() {
+        let findings = analyze(&[(
+            "crates/bench/src/experiments/fig0.rs",
+            "pub fn run(v: &[f64]) -> f64 {\n\
+                 anubis_parallel::reduce_chunks(v, 64, 0, |_, c| c.iter().sum::<f64>(), |a, b| a + b).unwrap_or(0.0)\n\
+             }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn sanctioned_facades_do_not_taint_roots() {
+        let findings = analyze(&[
+            (
+                "crates/bench/src/experiments/fig0.rs",
+                "pub fn run() { anubis_config::enabled(\"X\"); anubis_obs::stamp(); }\n",
+            ),
+            (
+                "crates/config/src/lib.rs",
+                "pub fn enabled(name: &str) -> bool { std::env::var(name).is_ok() }\n",
+            ),
+            (
+                "crates/obs/src/wall.rs",
+                "use std::time::Instant;\npub fn stamp() { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn non_root_functions_are_not_reported() {
+        // The same env read, but nothing roots the caller: no findings.
+        let findings = analyze(&[(
+            "crates/workload/src/lib.rs",
+            "pub fn top() { let _ = std::env::var(\"HOME\"); }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

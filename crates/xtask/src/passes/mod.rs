@@ -11,6 +11,11 @@
 //! | A003 | [`a003`] | What allocates inside the measured hot paths? |
 //! | A004 | [`a004`] | Where can nondeterminism leak into results? |
 //! | A005 | [`a005`] | Who constructs or mutates a lifecycle state outside the machine? |
+//! | A006 | [`a006`] | Which deterministic roots can transitively reach a nondeterminism source? |
+//! | A007 | [`a007`] | Which `anubis-parallel` closures break the executor's determinism contract? |
+//!
+//! A003/A006/A007 consume the interprocedural effect summaries of
+//! [`crate::dataflow`]; the others scan per-function.
 //!
 //! Findings are keyed by *(code, file, function, kind)* — deliberately not
 //! by line — so the committed baseline survives unrelated edits to the
@@ -26,9 +31,12 @@ pub mod a002;
 pub mod a003;
 pub mod a004;
 pub mod a005;
+pub mod a006;
+pub mod a007;
 
 use crate::callgraph::CallGraph;
 use crate::checks::GATED_CRATES;
+use crate::dataflow::Summaries;
 use crate::model::Workspace;
 use std::fmt;
 
@@ -128,6 +136,22 @@ pub struct AnalysisConfig {
     /// Type names whose variants/values only the lifecycle crates may
     /// construct or mutate (`NodeState`).
     pub state_types: Vec<String>,
+    /// Crate directory names owning the deterministic executor
+    /// (`anubis-parallel`). Sanctioned to probe the thread count (results
+    /// never depend on it); A007 exempts their own internals.
+    pub parallel_crates: Vec<String>,
+    /// Executor entry points taking worker closures. A006 roots every
+    /// caller (the chunk body is owned by the calling fn); A007 audits the
+    /// closure arguments at each call site.
+    pub parallel_entries: Vec<String>,
+    /// Crate directory names sanctioned to read `std::env` — the config
+    /// shim (`anubis-config`). Env reads anywhere else are A006 taint
+    /// sources.
+    pub env_shims: Vec<String>,
+    /// Path substrings whose non-test fns are deterministic roots for
+    /// A006 beyond the parallel callers: experiment renderers and the obs
+    /// ring-buffer writers.
+    pub deterministic_root_paths: Vec<String>,
 }
 
 impl Default for AnalysisConfig {
@@ -180,19 +204,55 @@ impl Default for AnalysisConfig {
             timing_facades: vec!["obs".to_owned()],
             lifecycle_crates: vec!["lifecycle".to_owned()],
             state_types: vec!["NodeState".to_owned()],
+            parallel_crates: vec!["parallel".to_owned()],
+            parallel_entries: vec![
+                "map_chunks".to_owned(),
+                "map_chunks_mut".to_owned(),
+                "map_items".to_owned(),
+                "map_indexed".to_owned(),
+                "reduce_chunks".to_owned(),
+            ],
+            env_shims: vec!["config".to_owned()],
+            deterministic_root_paths: vec![
+                "bench/src/experiments/".to_owned(),
+                "obs/src/".to_owned(),
+            ],
         }
     }
 }
 
-/// Runs all five passes and returns findings sorted by (code, path, line,
-/// kind, func) — a deterministic order suitable for diffing.
+impl AnalysisConfig {
+    /// A config with everything empty — the base the pass unit tests
+    /// extend so new fields don't churn every struct literal.
+    pub fn bare() -> Self {
+        Self {
+            gated_crates: Vec::new(),
+            hot_entries: Vec::new(),
+            timing_facades: Vec::new(),
+            lifecycle_crates: Vec::new(),
+            state_types: Vec::new(),
+            parallel_crates: Vec::new(),
+            parallel_entries: Vec::new(),
+            env_shims: Vec::new(),
+            deterministic_root_paths: Vec::new(),
+        }
+    }
+}
+
+/// Runs all seven passes and returns findings sorted by (code, path,
+/// line, kind, func) — a deterministic order suitable for diffing. The
+/// call graph and the interprocedural summaries are computed once and
+/// shared by every summary-consuming pass.
 pub fn run_analysis(ws: &Workspace, config: &AnalysisConfig) -> Vec<Finding> {
     let graph = CallGraph::build(ws);
+    let summaries = Summaries::compute(ws, &graph, config);
     let mut findings = a001::run(ws, &graph, config);
     findings.extend(a002::run(ws));
-    findings.extend(a003::run(ws, &graph, config));
+    findings.extend(a003::run(ws, &graph, &summaries, config));
     findings.extend(a004::run(ws, &graph, config));
     findings.extend(a005::run(ws, &graph, config));
+    findings.extend(a006::run(ws, &graph, &summaries, config));
+    findings.extend(a007::run(ws, &graph, &summaries, config));
     findings.sort_by(|a, b| {
         (a.code, &a.path, a.line, &a.kind, &a.func)
             .cmp(&(b.code, &b.path, b.line, &b.kind, &b.func))

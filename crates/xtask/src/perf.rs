@@ -246,14 +246,14 @@ pub fn baseline_snippet(current: &BTreeMap<String, f64>) -> String {
 /// The gate tolerance: `ANUBIS_BENCH_TOLERANCE` when set and valid, else
 /// [`DEFAULT_TOLERANCE`].
 pub fn tolerance_from_env() -> Result<f64, String> {
-    match std::env::var("ANUBIS_BENCH_TOLERANCE") {
-        Ok(raw) => raw
+    match anubis_config::raw("ANUBIS_BENCH_TOLERANCE") {
+        Some(raw) => raw
             .trim()
             .parse::<f64>()
             .ok()
             .filter(|t| t.is_finite() && *t >= 0.0)
             .ok_or_else(|| format!("ANUBIS_BENCH_TOLERANCE=`{raw}` is not a non-negative number")),
-        Err(_) => Ok(DEFAULT_TOLERANCE),
+        None => Ok(DEFAULT_TOLERANCE),
     }
 }
 

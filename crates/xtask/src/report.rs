@@ -155,6 +155,41 @@ impl Baseline {
     }
 }
 
+/// Human-readable audit trail of a `--write-baseline` refresh: one line
+/// per key the rewrite prunes, shrinks, adds, or grows, so the diff a
+/// reviewer sees in the regenerated file is also spelled out in the run
+/// log. Empty when the refresh is a no-op.
+pub fn refresh_summary(old: &Baseline, new: &Baseline) -> Vec<String> {
+    let mut lines = Vec::new();
+    for stale in old.stale(new) {
+        if stale.current == 0 {
+            lines.push(format!(
+                "analyze: baseline - `{}` (fixed, was {})",
+                stale.key, stale.baselined
+            ));
+        } else {
+            lines.push(format!(
+                "analyze: baseline ~ `{}` ({} -> {})",
+                stale.key, stale.baselined, stale.current
+            ));
+        }
+    }
+    for grown in old.regressions(new) {
+        if grown.baselined == 0 {
+            lines.push(format!(
+                "analyze: baseline + `{}` (new, now {})",
+                grown.key, grown.current
+            ));
+        } else {
+            lines.push(format!(
+                "analyze: baseline ~ `{}` ({} -> {})",
+                grown.key, grown.baselined, grown.current
+            ));
+        }
+    }
+    lines
+}
+
 /// The diagnostic rules, for the SARIF `rules` array.
 const RULES: &[(&str, &str)] = &[
     (
@@ -167,6 +202,14 @@ const RULES: &[(&str, &str)] = &[
     (
         "A005",
         "Lifecycle state constructed or mutated outside the transition function",
+    ),
+    (
+        "A006",
+        "Deterministic root transitively reaches a nondeterminism source",
+    ),
+    (
+        "A007",
+        "Parallel worker closure breaks the executor's determinism contract",
     ),
 ];
 
@@ -328,6 +371,28 @@ mod tests {
             message: format!("message for {func}"),
             enforced: false,
         }
+    }
+
+    #[test]
+    fn refresh_summary_reports_pruned_shrunk_added_and_grown_keys() {
+        let make = |pairs: &[(&str, usize)]| Baseline {
+            findings: pairs.iter().map(|(k, c)| ((*k).to_owned(), *c)).collect(),
+        };
+        let old = make(&[
+            ("A004 f.rs g hash-iteration", 1),
+            ("A001 f.rs h panic-reach", 3),
+        ]);
+        let new = make(&[("A001 f.rs h panic-reach", 2), ("A002 f.rs i float-eq", 1)]);
+        let lines = refresh_summary(&old, &new);
+        assert_eq!(
+            lines,
+            vec![
+                "analyze: baseline ~ `A001 f.rs h panic-reach` (3 -> 2)".to_owned(),
+                "analyze: baseline - `A004 f.rs g hash-iteration` (fixed, was 1)".to_owned(),
+                "analyze: baseline + `A002 f.rs i float-eq` (new, now 1)".to_owned(),
+            ]
+        );
+        assert!(refresh_summary(&new, &new).is_empty());
     }
 
     #[test]

@@ -90,6 +90,67 @@ fn a005_fixture_reports_out_of_band_state_construction() {
 }
 
 #[test]
+fn a006_fixture_reports_taint_chains_and_chunk_body_hash_iteration() {
+    let findings = analyze_fixture("a006");
+    // The hash iteration in the chunk body draws both its direct-scan
+    // (A004) and interprocedural (A006) findings; the env chain is A006
+    // only. Exactly these three.
+    assert_eq!(findings.len(), 3, "findings: {findings:#?}");
+
+    let env = findings
+        .iter()
+        .find(|f| f.code == "A006" && f.kind == "env-read")
+        .expect("env-read finding");
+    assert_eq!(env.path, "crates/bench/src/experiments/fig_env.rs");
+    assert_eq!(env.func, "run");
+    assert!(
+        env.message.contains("run -> helper -> deep"),
+        "call path missing: {}",
+        env.message
+    );
+    assert!(
+        env.message.contains("std::env::var"),
+        "source missing: {}",
+        env.message
+    );
+
+    let hash = findings
+        .iter()
+        .find(|f| f.code == "A006" && f.kind == "hash-iteration")
+        .expect("hash-iteration finding");
+    assert_eq!(hash.path, "crates/workload/src/lib.rs");
+    assert_eq!(hash.func, "spread");
+    assert!(
+        hash.message.contains("directly touches"),
+        "chunk-body site should be distance 0: {}",
+        hash.message
+    );
+
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "A004" && f.func == "spread" && f.kind == "hash-iteration"),
+        "A004 companion missing: {findings:#?}"
+    );
+}
+
+#[test]
+fn a007_fixture_reports_mut_capture_in_parallel_closure() {
+    let findings = analyze_fixture("a007");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A007");
+    assert_eq!(f.path, "crates/traces/src/lib.rs");
+    assert_eq!(f.func, "total_len");
+    assert_eq!(f.kind, "mut-capture");
+    assert!(
+        f.message.contains("captured `total`"),
+        "captured variable missing: {}",
+        f.message
+    );
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     let findings = analyze_fixture("clean");
     assert!(findings.is_empty(), "findings: {findings:#?}");

@@ -1,0 +1,16 @@
+//! A006 fixture: a deterministic root (experiment renderer) reaching an
+//! environment read two calls deep. The helpers are private, so only the
+//! public renderer roots the chain.
+
+/// The renderer: deterministic root by path.
+pub fn run() -> bool {
+    helper()
+}
+
+fn helper() -> bool {
+    deep()
+}
+
+fn deep() -> bool {
+    std::env::var("FIXTURE_KNOB").is_ok()
+}

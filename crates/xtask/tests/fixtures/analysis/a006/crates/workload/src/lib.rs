@@ -1,0 +1,13 @@
+//! A006 fixture: hash-container iteration inside a parallel chunk body.
+//! The closure is owned by the calling function in the token model, so
+//! the caller is the deterministic root and the site is distance 0.
+
+use std::collections::HashMap;
+
+/// Parallel map whose chunk body iterates a `HashMap` — the iteration
+/// order leaks into the per-slot outputs.
+pub fn spread(m: &HashMap<u32, f64>, slots: usize) -> Vec<f64> {
+    anubis_parallel::map_indexed(slots, 0, |i| {
+        m.values().copied().next().unwrap_or(0.0) + i as f64
+    })
+}

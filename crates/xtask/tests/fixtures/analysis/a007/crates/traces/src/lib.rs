@@ -1,0 +1,13 @@
+//! A007 fixture: a worker closure accumulating into a captured `&mut`
+//! variable instead of returning per-chunk results through the
+//! executor's slot-output protocol.
+
+/// Sums chunk lengths by mutating a captured accumulator — the classic
+/// race the discipline pass exists to reject.
+pub fn total_len(values: &[f64]) -> f64 {
+    let mut total = 0.0;
+    anubis_parallel::map_chunks(values, 64, 0, |_idx, chunk| {
+        total += chunk.len() as f64;
+    });
+    total
+}
