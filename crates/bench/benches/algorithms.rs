@@ -184,7 +184,7 @@ fn bench_coxtime(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
-    let status = samples[0].status.clone();
+    let status = samples[0].status;
     c.bench_function("coxtime/expected_tbni", |bencher| {
         bencher.iter(|| black_box(model.expected_tbni(black_box(&status))));
     });

@@ -33,6 +33,9 @@ pub fn run_set_parallel(
     if nodes.is_empty() {
         return Err(SuiteError::EmptyNodeSet);
     }
+    if set.is_empty() {
+        return Ok(RunData::default());
+    }
     if let Some(&bad) = set.iter().find(|b| b.spec().phase != Phase::SingleNode) {
         return Err(SuiteError::PhaseMismatch(bad));
     }
@@ -43,31 +46,33 @@ pub fn run_set_parallel(
         "runner.parallel_node_runs",
         (nodes.len() * set.len()) as i64
     );
-    // Each worker owns a disjoint node chunk; per-chunk results come back
-    // in chunk order, so assembly below is in fleet order without sorting.
-    type ChunkResult = Result<Vec<Vec<(BenchmarkId, anubis_metrics::Sample)>>, SuiteError>;
+    // Each worker owns a disjoint node chunk and returns one flat
+    // node-major row buffer (node 0's full set, then node 1's, …): a
+    // single allocation per chunk instead of one per node. Per-chunk
+    // results come back in chunk order, so assembly below is in fleet
+    // order without sorting.
+    type ChunkResult = Result<Vec<(BenchmarkId, anubis_metrics::Sample)>, SuiteError>;
     let per_chunk: Vec<ChunkResult> =
         anubis_parallel::map_chunks_mut(nodes, NODES_PER_CHUNK, threads, |_, chunk| {
-            chunk
-                .iter_mut()
-                .map(|node| {
-                    set.iter()
-                        .map(|&bench| run_benchmark(bench, node).map(|sample| (bench, sample)))
-                        .collect()
-                })
-                .collect()
+            let mut rows = Vec::with_capacity(chunk.len() * set.len());
+            for node in chunk.iter_mut() {
+                for &bench in set {
+                    rows.push((bench, run_benchmark(bench, node)?));
+                }
+            }
+            Ok(rows)
         });
 
     let mut data = RunData::default();
     let mut index = 0usize;
     for chunk in per_chunk {
-        for rows in chunk? {
-            let id = nodes[index].id();
-            index += 1;
-            for (bench, sample) in rows {
-                data.results.entry(bench).or_default().push((id, sample));
-            }
+        let rows = chunk?;
+        let chunk_nodes = rows.len() / set.len();
+        for (i, (bench, sample)) in rows.into_iter().enumerate() {
+            let id = nodes[index + i / set.len()].id();
+            data.results.entry(bench).or_default().push((id, sample));
         }
+        index += chunk_nodes;
     }
     Ok(data)
 }

@@ -91,13 +91,23 @@ impl RunData {
     /// Renders the results as JSON lines (one `{benchmark, node, values}`
     /// object per node×benchmark), the SuperBench-style results export.
     pub fn to_jsonl(&self) -> Result<String, anubis_metrics::json::JsonError> {
+        let mut out = String::new();
+        self.append_jsonl(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the JSONL export to a caller-owned (typically pooled)
+    /// buffer. This is the allocation-free path: rows serialize through
+    /// `anubis_metrics::json::to_json_into` straight into `out`, with no
+    /// per-row scratch string (arena-clean under `cargo xtask analyze`
+    /// pass A008).
+    pub fn append_jsonl(&self, out: &mut String) -> Result<(), anubis_metrics::json::JsonError> {
         #[derive(serde::Serialize)]
         struct Row<'a> {
             benchmark: &'a str,
             node: u32,
             values: &'a [f64],
         }
-        let mut out = String::new();
         for (bench, rows) in &self.results {
             for (node, sample) in rows {
                 let row = Row {
@@ -105,11 +115,11 @@ impl RunData {
                     node: node.0,
                     values: sample.values(),
                 };
-                out.push_str(&anubis_metrics::json::to_json(&row)?);
+                anubis_metrics::json::to_json_into(&row, out)?;
                 out.push('\n');
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@
 //! off (paper Section 5.2, step 6).
 
 use crate::policy::{Policy, PolicyKind, ValidationDecision};
+use anubis_arena::Arena;
 use anubis_hwsim::noise::exponential;
 use anubis_lifecycle::{LifecycleEvent, NodeLifecycle};
 use anubis_selector::NodeStatus;
@@ -157,6 +158,19 @@ struct ActiveJob {
     remaining_hours: f64,
 }
 
+/// Pooled per-allocation scratch for the event loop. `members` and
+/// `onsets` buffers travel inside [`ActiveJob`] while the job runs and
+/// come back to the pool at `JobFinish`; `statuses` is a per-call
+/// temporary for the policy decision. After warm-up the allocation path
+/// touches the heap zero times per event (`try_allocate` is registered
+/// arena-clean under `cargo xtask analyze` pass A008).
+#[derive(Debug, Default)]
+struct SimArenas {
+    members: Arena<Vec<u32>>,
+    statuses: Arena<Vec<NodeStatus>>,
+    onsets: Arena<Vec<f64>>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     Arrival(usize),
@@ -283,6 +297,7 @@ pub fn simulate(
         active: &mut Vec<Option<ActiveJob>>,
         events: &mut BinaryHeap<Event>,
         seq: &mut u64,
+        arenas: &SimArenas,
     ) {
         // First-fit backfill: a large job waiting at the head must not
         // idle capacity that smaller jobs behind it could use (the paper
@@ -300,17 +315,17 @@ pub fn simulate(
             let Some(job) = pending.remove(queue_index) else {
                 break;
             };
-            // The fit check above guarantees enough idle nodes.
-            let members: Vec<u32> = (0..job.nodes_needed)
-                .filter_map(|_| idle.pop_front())
-                .collect();
+            // The fit check above guarantees enough idle nodes. The
+            // buffer is pooled: it rides inside the `ActiveJob` and
+            // returns to the arena at `JobFinish`.
+            let mut members = arenas.members.take();
+            members.extend((0..job.nodes_needed).filter_map(|_| idle.pop_front()));
             debug_assert_eq!(members.len(), job.nodes_needed as usize);
 
-            let statuses: Vec<NodeStatus> = members
-                .iter()
-                .map(|&m| nodes[m as usize].status.clone())
-                .collect();
+            let mut statuses = arenas.statuses.take();
+            statuses.extend(members.iter().map(|&m| nodes[m as usize].status));
             let decision = policy.decide(&statuses, job.remaining_hours, rng);
+            arenas.statuses.give(statuses);
             let validation_hours = decision.duration_hours;
             // A non-skip decision is the policy's risk threshold crossing:
             // the members leave the schedulable pool and run benchmarks.
@@ -318,7 +333,7 @@ pub fn simulate(
             let mut job_start = now + validation_hours;
             let mut any_swap = false;
 
-            let mut onsets = Vec::with_capacity(members.len());
+            let mut onsets = arenas.onsets.take();
             let mut incident: Option<(usize, f64)> = None;
             for (idx, &m) in members.iter().enumerate() {
                 let node = &mut nodes[m as usize];
@@ -423,6 +438,7 @@ pub fn simulate(
     }
 
     let mut seq_counter = seq;
+    let arenas = SimArenas::default();
     try_allocate(
         0.0,
         config,
@@ -435,6 +451,7 @@ pub fn simulate(
         &mut active,
         &mut events,
         &mut seq_counter,
+        &arenas,
     );
 
     while let Some(event) = events.pop() {
@@ -499,7 +516,7 @@ pub fn simulate(
                         node.latent = false;
                         node.manifested = false;
                         node.repair += config.swap_hours;
-                        let status = node.status.clone();
+                        let status = node.status;
                         let post = policy.decide_post_incident(&status, &mut rng);
                         nodes[incident_node as usize].validation += post.duration_hours;
                         now + config.swap_hours + post.duration_hours
@@ -538,6 +555,15 @@ pub fn simulate(
                         idle.push_back(m);
                     }
                 }
+                // The job's buffers go back to the pool for the next
+                // allocation.
+                let ActiveJob {
+                    nodes: members,
+                    onsets,
+                    ..
+                } = job;
+                arenas.members.give(members);
+                arenas.onsets.give(onsets);
             }
         }
         try_allocate(
@@ -552,7 +578,14 @@ pub fn simulate(
             &mut active,
             &mut events,
             &mut seq_counter,
+            &arenas,
         );
+        // Event boundary = arena tick: all scratch is either pooled again
+        // or riding inside an `ActiveJob`; publish debug stats and start
+        // a new epoch.
+        arenas.members.reset();
+        arenas.statuses.reset();
+        arenas.onsets.reset();
     }
 
     // Jobs still running at the horizon: charge busy time up to it.

@@ -78,7 +78,7 @@ impl Anubis {
 
     /// Current status of a node (fresh if never seen).
     pub fn status_of(&self, node: NodeId) -> NodeStatus {
-        self.statuses.get(&node).cloned().unwrap_or_default()
+        self.statuses.get(&node).copied().unwrap_or_default()
     }
 
     /// Current lifecycle of a node (healthy if never seen). All changes

@@ -9,7 +9,7 @@
 //! keys); non-finite floats serialize as `null` (matching `serde_json`).
 
 use serde::ser::{self, Serialize};
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 /// Error raised during JSON serialization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,8 +45,20 @@ impl ser::Error for JsonError {
 /// ```
 pub fn to_json<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
     let mut out = String::new();
-    value.serialize(Serializer { out: &mut out })?;
+    to_json_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serializes any `Serialize` value as compact JSON *appended* to `out`.
+///
+/// This is the allocation-free entry point for hot serialization loops:
+/// the caller owns (and typically pools, via `anubis-arena`) the output
+/// buffer, and the serializer itself performs no heap allocation — floats
+/// and integers render through `fmt::Write` directly into `out`. On error
+/// `out` may hold a partial rendering; callers that batch rows should
+/// truncate back to their last known-good length.
+pub fn to_json_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), JsonError> {
+    value.serialize(Serializer { out })
 }
 
 fn push_escaped(out: &mut String, text: &str) {
@@ -58,7 +70,9 @@ fn push_escaped(out: &mut String, text: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -67,7 +81,7 @@ fn push_escaped(out: &mut String, text: &str) {
 
 fn push_f64(out: &mut String, value: f64) {
     if value.is_finite() {
-        out.push_str(&format!("{value}"));
+        let _ = write!(out, "{value}");
     } else {
         out.push_str("null");
     }
@@ -125,7 +139,7 @@ impl MapSerializer<'_> {
 macro_rules! serialize_integer {
     ($($method:ident: $ty:ty),*) => {
         $(fn $method(self, v: $ty) -> Result<(), JsonError> {
-            self.out.push_str(&v.to_string());
+            let _ = write!(self.out, "{v}");
             Ok(())
         })*
     };
@@ -163,7 +177,7 @@ impl<'a> ser::Serializer for Serializer<'a> {
     }
 
     fn serialize_char(self, v: char) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        push_escaped(self.out, v.encode_utf8(&mut [0u8; 4]));
         Ok(())
     }
 
@@ -386,7 +400,7 @@ impl<'a> ser::Serializer for KeySerializer<'a> {
     }
 
     fn serialize_char(self, v: char) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        push_escaped(self.out, v.encode_utf8(&mut [0u8; 4]));
         Ok(())
     }
 
@@ -394,35 +408,35 @@ impl<'a> ser::Serializer for KeySerializer<'a> {
         Err(ser::Error::custom("map keys must be strings"))
     }
     fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
-        push_escaped(self.out, &v.to_string());
+        let _ = write!(self.out, "\"{v}\"");
         Ok(())
     }
     fn serialize_f32(self, _v: f32) -> Result<(), JsonError> {
@@ -582,6 +596,32 @@ mod tests {
         assert_eq!(to_json(&Option::<u8>::None).unwrap(), "null");
         assert_eq!(to_json(&Some(3u8)).unwrap(), "3");
         assert_eq!(to_json(&()).unwrap(), "null");
+    }
+
+    #[test]
+    fn to_json_into_appends_to_the_caller_buffer() {
+        let mut out = String::from("row: ");
+        to_json_into(&vec![1u8, 2], &mut out).unwrap();
+        assert_eq!(out, "row: [1,2]");
+        // A recycled (cleared) buffer renders the same bytes as to_json.
+        out.clear();
+        to_json_into(&(42u64, "x\ny"), &mut out).unwrap();
+        assert_eq!(out, to_json(&(42u64, "x\ny")).unwrap());
+    }
+
+    #[test]
+    fn char_map_keys_are_escaped() {
+        struct CharKeyed;
+        impl Serialize for CharKeyed {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeMap;
+                let mut m = s.serialize_map(Some(1))?;
+                m.serialize_key(&'"')?;
+                m.serialize_value(&1u8)?;
+                m.end()
+            }
+        }
+        assert_eq!(to_json(&CharKeyed).unwrap(), r#"{"\"":1}"#);
     }
 
     #[test]

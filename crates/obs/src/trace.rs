@@ -104,6 +104,15 @@ impl Trace {
     /// one JSON object per line, trailing newline included).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 + self.records.len() * 80);
+        self.append_jsonl(&mut out);
+        out
+    }
+
+    /// Appends the JSONL rendering to a caller-owned (typically pooled)
+    /// buffer — the allocation-free path, arena-clean under `cargo xtask
+    /// analyze` pass A008: every field renders through `fmt::Write`
+    /// directly into `out`.
+    pub fn append_jsonl(&self, out: &mut String) {
         let _ = writeln!(
             out,
             "{{\"schema\":{},\"records\":{},\"dropped\":{},\"counters\":{},\"hists\":{}}}",
@@ -115,31 +124,31 @@ impl Trace {
         );
         for r in &self.records {
             let _ = write!(out, "{{\"seq\":{},\"vt\":", r.seq);
-            push_f64(&mut out, r.vt);
+            push_f64(out, r.vt);
             let _ = write!(out, ",\"ev\":\"{}\",\"target\":\"", r.kind.as_str());
-            push_escaped(&mut out, r.target);
+            push_escaped(out, r.target);
             out.push_str("\",\"name\":\"");
-            push_escaped(&mut out, r.name);
+            push_escaped(out, r.name);
             out.push_str("\"}\n");
         }
         for c in &self.counters {
             out.push_str("{\"counter\":\"");
-            push_escaped(&mut out, c.name);
+            push_escaped(out, c.name);
             out.push_str("\",\"target\":\"");
-            push_escaped(&mut out, c.target);
+            push_escaped(out, c.target);
             let _ = writeln!(out, "\",\"total\":{}}}", c.total);
         }
         for h in &self.hists {
             out.push_str("{\"hist\":\"");
-            push_escaped(&mut out, h.name);
+            push_escaped(out, h.name);
             out.push_str("\",\"target\":\"");
-            push_escaped(&mut out, h.target);
+            push_escaped(out, h.target);
             out.push_str("\",\"edges\":[");
             for (i, &edge) in h.edges.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                push_f64(&mut out, edge);
+                push_f64(out, edge);
             }
             out.push_str("],\"counts\":[");
             for (i, count) in h.counts.iter().enumerate() {
@@ -150,7 +159,6 @@ impl Trace {
             }
             let _ = writeln!(out, "],\"total\":{}}}", h.total);
         }
-        out
     }
 }
 

@@ -6,7 +6,7 @@ use anubis_hwsim::fault::IncidentCategory;
 ///
 /// The paper lists "total up time, historical incident count, MTBI of
 /// different incident types, etc." as the statuses the Selector queries.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeStatus {
     /// Total hours the node has been in service.
     pub uptime_hours: f64,

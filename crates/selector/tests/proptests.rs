@@ -112,7 +112,7 @@ proptest! {
             Box::new(ExponentialModel::fit(&samples)) as Box<dyn SurvivalModel + Sync>,
             Box::new(ExponentialPerCountModel::fit(&samples)),
         ] {
-            let status = samples[0].status.clone();
+            let status = samples[0].status;
             let p_short = model.incident_probability(&status, horizon);
             let p_long = model.incident_probability(&status, horizon * 2.0);
             prop_assert!((0.0..=1.0).contains(&p_short));

@@ -366,7 +366,7 @@ impl IncidentTrace {
                     next_idx += 1;
                 }
                 // Status at the snapshot.
-                let mut status = base.clone();
+                let mut status = base;
                 if snap > last_event_end {
                     status.advance(snap - last_event_end);
                 }

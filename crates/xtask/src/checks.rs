@@ -30,6 +30,7 @@ use std::fmt;
 /// Crates whose library code must be panic-free: everything that runs in
 /// the validation path on fleet nodes.
 pub const GATED_CRATES: &[&str] = &[
+    "arena",
     "benchsuite",
     "validator",
     "selector",

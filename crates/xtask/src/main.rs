@@ -5,6 +5,7 @@
 //! ```text
 //! cargo xtask lint       [--root <dir>] [--allowlist <file>] [--allow-unused-allowlist]
 //! cargo xtask analyze    [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]
+//!                        [--arena-report]
 //! cargo xtask modelcheck [--out <file>] [--threads <n>]
 //!                        [--bug <forget-risk|validate-busy|ignore-floor>]
 //! cargo xtask profile    [<trace.jsonl>] [--top <n>]
@@ -21,12 +22,14 @@
 //! scripts).
 //!
 //! `analyze` runs the call-graph passes of [`anubis_xtask::passes`]
-//! (A001–A005) and compares the findings against the committed
+//! (A001–A008) and compares the findings against the committed
 //! `analysis-baseline.json`: only *regressions* — new finding keys or
 //! grown counts — fail the build. `--write-baseline` regenerates the
 //! baseline after intentional changes; `--json` writes a SARIF-style
 //! report for CI artifacts. Findings under an *enforced* hot entry are
-//! hard failures the baseline never absorbs.
+//! hard failures the baseline never absorbs. `--arena-report` prints the
+//! A008 inventory of scope-local (arena-able) allocations in hot-entry
+//! reach — conversion candidates, not findings.
 //!
 //! `modelcheck` exhaustively enumerates the Selector/Validator
 //! coordination loop over small fleet models (see
@@ -59,7 +62,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: cargo xtask <lint|analyze|modelcheck|profile|perfgate>\n  \
 lint       [--root <dir>] [--allowlist <file>] [--allow-unused-allowlist]\n  \
-analyze    [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline]\n  \
+analyze    [--root <dir>] [--baseline <file>] [--json <file>] [--write-baseline] [--arena-report]\n  \
 modelcheck [--out <file>] [--threads <n>] [--bug <forget-risk|validate-busy|ignore-floor>]\n  \
 profile    [<trace.jsonl>] [--top <n>]\n  \
 perfgate   [--root <dir>] [--baseline <file>] [--current <file>] [--out <file>] [--print-baseline]";
@@ -190,11 +193,16 @@ fn analyze(args: &[String]) -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut arena_report = false;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--write-baseline" => {
                 write_baseline = true;
+                continue;
+            }
+            "--arena-report" => {
+                arena_report = true;
                 continue;
             }
             "--root" => match iter.next() {
@@ -222,6 +230,19 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
     let findings = run_analysis(&ws, &AnalysisConfig::default());
+    if arena_report {
+        let sites = anubis_xtask::passes::arena_able_report(&ws, &AnalysisConfig::default());
+        for site in &sites {
+            println!(
+                "{}:{}: A008(arena-able): `{}` in `{}` is scope-local (lines {}-{}), via {}",
+                site.path, site.line, site.kind, site.func, site.span.0, site.span.1, site.via
+            );
+        }
+        println!(
+            "analyze: {} arena-able site(s) in hot-entry reach",
+            sites.len()
+        );
+    }
     let current = Baseline::from_findings(&findings);
     // Enforced findings (allocations under an enforced hot entry) are
     // hard failures: the baseline excludes them by construction, so not

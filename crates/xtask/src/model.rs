@@ -196,6 +196,9 @@ pub struct Call {
     pub kind: CallKind,
     /// 1-based line of the call.
     pub line: usize,
+    /// Token index of the callee-name token in the file's token stream,
+    /// so effect analyses can inspect the surrounding expression.
+    pub at: usize,
 }
 
 /// One function parameter.
@@ -713,6 +716,7 @@ pub(crate) fn extract_calls(
                         qualifier: None,
                         kind: CallKind::Macro,
                         line,
+                        at: i,
                     });
                 }
                 continue;
@@ -729,6 +733,7 @@ pub(crate) fn extract_calls(
                     qualifier: None,
                     kind: CallKind::Method,
                     line,
+                    at: i,
                 }),
                 Some(p) if p.is("::") => {
                     let qualifier = i
@@ -741,6 +746,7 @@ pub(crate) fn extract_calls(
                         qualifier,
                         kind: CallKind::Qualified,
                         line,
+                        at: i,
                     });
                 }
                 Some(p) if p.is("fn") => {} // the definition itself
@@ -749,6 +755,7 @@ pub(crate) fn extract_calls(
                     qualifier: None,
                     kind: CallKind::Free,
                     line,
+                    at: i,
                 }),
             }
         }

@@ -1,0 +1,285 @@
+//! A008 — allocation-escape analysis and arena discipline.
+//!
+//! A003 answers "what allocates inside the measured hot paths"; this pass
+//! answers the two follow-up questions that make the report actionable:
+//!
+//! 1. **Which of those allocations are per-call temporaries?** Every
+//!    direct allocation site carries an escape class from the token-level
+//!    lattice in [`crate::dataflow`] ([`Escape`](crate::dataflow::Escape)).
+//!    A site that provably dies inside its function — never returned,
+//!    stored into a place, or captured by a closure — is *arena-able*:
+//!    it can be replaced by a pooled buffer from `anubis-arena` without
+//!    changing any output byte. [`arena_able`] inventories these for
+//!    every A003 hot entry's reach; the `analyze` command prints the
+//!    inventory as an informational report (not findings — the committed
+//!    baseline stays at zero A008 entries).
+//!
+//! 2. **Do the converted functions stay clean?** Functions registered in
+//!    [`AnalysisConfig::arena_clean_entries`] have been converted to
+//!    arena/pooled scratch; any *direct* allocation site in their own
+//!    body (closures included) is an enforced finding the baseline never
+//!    absorbs. Direct sites only, deliberately: enforcement through the
+//!    over-approximate name-based call graph would import collision
+//!    noise (`decide` resolves to every `decide` in the workspace), and
+//!    the transitive allocation budget is already A003's job. Calls into
+//!    the sanctioned arena crates record no sites at extraction
+//!    ([`AnalysisConfig::arena_crates`]), so `arena.take()` and friends
+//!    are free by construction.
+
+use super::{path_string, AnalysisConfig, Finding};
+use crate::callgraph::CallGraph;
+use crate::dataflow::Summaries;
+use crate::model::Workspace;
+
+/// Runs the enforcement half of the pass: every direct allocation site
+/// inside an arena-clean-registered function is an enforced finding.
+pub fn run(
+    ws: &Workspace,
+    _graph: &CallGraph,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, item) in ws.fns.iter().enumerate() {
+        if item.in_test {
+            continue;
+        }
+        let file_path = &ws.files[item.file].path;
+        let registered = config
+            .arena_clean_entries
+            .iter()
+            .any(|e| item.name == e.func && file_path.contains(e.path.as_str()));
+        if !registered {
+            continue;
+        }
+        for site in &summaries.alloc_sites[index] {
+            let message = format!(
+                "`{}` allocates directly in arena-clean `{}` (lines {}-{}, escape: {}); \
+                 per-call scratch must come from `anubis-arena` or a caller-provided buffer",
+                site.kind,
+                item.qual_name(),
+                site.span.0,
+                site.span.1,
+                site.escape.slug(),
+            );
+            findings.push(Finding {
+                code: "A008",
+                path: file_path.clone(),
+                line: site.line,
+                func: item.qual_name(),
+                kind: "non-arena-alloc".to_owned(),
+                message,
+                enforced: true,
+            });
+        }
+    }
+    findings
+}
+
+/// One arena-able site: a scope-local allocation in a function reachable
+/// from an A003 hot entry. These are candidates for conversion, reported
+/// informationally by `cargo xtask analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaAble {
+    /// Workspace-relative file of the site.
+    pub path: String,
+    /// Qualified name of the containing function.
+    pub func: String,
+    /// 1-based line of the allocating construct.
+    pub line: usize,
+    /// First and last line of the enclosing statement.
+    pub span: (usize, usize),
+    /// Allocation kind (`vec!`, `collect`, `Vec::with_capacity`, …).
+    pub kind: String,
+    /// Call path from the nearest hot entry.
+    pub via: String,
+}
+
+/// The reporting half: every non-escaping ([`Escape::Local`]
+/// (crate::dataflow::Escape::Local)) allocation site reachable from an
+/// A003 hot entry, sorted by (path, line, kind) for stable output.
+pub fn arena_able(
+    ws: &Workspace,
+    graph: &CallGraph,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> Vec<ArenaAble> {
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| {
+            !item.in_test
+                && config.hot_entries.iter().any(|entry| {
+                    item.name == entry.func
+                        && ws.files[item.file].path.contains(entry.path.as_str())
+                })
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reach(&roots);
+
+    let mut out = Vec::new();
+    for (index, item) in ws.fns.iter().enumerate() {
+        if item.in_test || reach.dist[index] == usize::MAX {
+            continue;
+        }
+        let mut entry_path = reach.path_from(index);
+        entry_path.reverse();
+        let via = path_string(ws, &entry_path);
+        for site in &summaries.alloc_sites[index] {
+            if site.escape.escapes() {
+                continue;
+            }
+            out.push(ArenaAble {
+                path: ws.files[item.file].path.clone(),
+                func: item.qual_name(),
+                line: site.line,
+                span: site.span,
+                kind: site.kind.clone(),
+                via: via.clone(),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.kind).cmp(&(&b.path, b.line, &b.kind)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::model::Workspace;
+    use crate::passes::HotEntry;
+
+    fn setup(files: &[(&str, &str)], config: AnalysisConfig) -> (Vec<Finding>, Vec<ArenaAble>) {
+        let ws = Workspace::from_sources(files.iter().copied());
+        let graph = CallGraph::build(&ws);
+        let summaries = Summaries::compute(&ws, &graph, &config);
+        let findings = run(&ws, &graph, &summaries, &config);
+        let report = arena_able(&ws, &graph, &summaries, &config);
+        (findings, report)
+    }
+
+    #[test]
+    fn allocation_in_arena_clean_fn_is_enforced() {
+        let mut config = AnalysisConfig::bare();
+        config.arena_clean_entries = vec![HotEntry::enforced("cluster/src/sim.rs", "step")];
+        let (findings, _) = setup(
+            &[(
+                "crates/cluster/src/sim.rs",
+                "pub fn step(n: usize) -> usize { let v = vec![0u32; n]; v.len() }\n",
+            )],
+            config,
+        );
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        let f = &findings[0];
+        assert_eq!(f.code, "A008");
+        assert_eq!(f.kind, "non-arena-alloc");
+        assert!(f.enforced, "arena-clean findings are hard failures");
+        assert!(f.message.contains("vec!"), "{}", f.message);
+        assert!(f.message.contains("escape: local"), "{}", f.message);
+    }
+
+    #[test]
+    fn clean_registered_fn_reports_nothing() {
+        let mut config = AnalysisConfig::bare();
+        config.arena_clean_entries = vec![HotEntry::enforced("cluster/src/sim.rs", "step")];
+        let (findings, _) = setup(
+            &[(
+                "crates/cluster/src/sim.rs",
+                "pub fn step(buf: &mut Vec<u32>, n: usize) { buf.clear(); buf.push(n as u32); }\n",
+            )],
+            config,
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn arena_crate_allocations_are_sanctioned() {
+        let mut config = AnalysisConfig::bare();
+        config.arena_crates = vec!["arena".to_owned()];
+        config.arena_clean_entries = vec![HotEntry::enforced("cluster/src/sim.rs", "step")];
+        let (findings, _) = setup(
+            &[
+                (
+                    "crates/arena/src/lib.rs",
+                    "pub fn take(n: usize) -> Vec<u32> { Vec::with_capacity(n) }\n",
+                ),
+                (
+                    "crates/cluster/src/sim.rs",
+                    "pub fn step(n: usize) -> usize { let v = anubis_arena::take(n); v.len() }\n",
+                ),
+            ],
+            config,
+        );
+        assert!(
+            findings.is_empty(),
+            "pooled growth inside the arena is sanctioned: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn only_direct_sites_count_against_arena_clean() {
+        // The callee allocates, but enforcement is direct-site only —
+        // transitive budgets belong to A003.
+        let mut config = AnalysisConfig::bare();
+        config.arena_clean_entries = vec![HotEntry::enforced("cluster/src/sim.rs", "step")];
+        let (findings, _) = setup(
+            &[(
+                "crates/cluster/src/sim.rs",
+                "pub fn step(x: &[u32]) -> usize { helper(x) }\n\
+                 fn helper(x: &[u32]) -> usize { x.to_vec().len() }\n",
+            )],
+            config,
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn closure_sites_inside_registered_fn_are_direct() {
+        let mut config = AnalysisConfig::bare();
+        config.arena_clean_entries = vec![HotEntry::enforced("cluster/src/sim.rs", "step")];
+        let (findings, _) = setup(
+            &[(
+                "crates/cluster/src/sim.rs",
+                "pub fn step(xs: &[u32]) -> usize { xs.iter().map(|x| vec![*x].len()).sum() }\n",
+            )],
+            config,
+        );
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].func, "step");
+    }
+
+    #[test]
+    fn arena_able_reports_local_sites_in_hot_reach_with_path() {
+        let mut config = AnalysisConfig::bare();
+        config.hot_entries = vec![HotEntry::tracked("nn/src/mlp.rs", "forward_into")];
+        let (_, report) = setup(
+            &[(
+                "crates/nn/src/mlp.rs",
+                "pub fn forward_into(x: &[u32]) -> usize { helper(x) }\n\
+                 fn helper(x: &[u32]) -> usize { let v = x.to_vec(); v.len() }\n",
+            )],
+            config,
+        );
+        assert_eq!(report.len(), 1, "{report:#?}");
+        assert_eq!(report[0].kind, "to_vec");
+        assert_eq!(report[0].func, "helper");
+        assert!(report[0].via.contains("forward_into -> helper"));
+    }
+
+    #[test]
+    fn escaping_sites_are_not_arena_able() {
+        let mut config = AnalysisConfig::bare();
+        config.hot_entries = vec![HotEntry::tracked("nn/src/mlp.rs", "forward_into")];
+        let (_, report) = setup(
+            &[(
+                "crates/nn/src/mlp.rs",
+                "pub fn forward_into(x: &[u32]) -> Vec<u32> { x.to_vec() }\n",
+            )],
+            config,
+        );
+        assert!(report.is_empty(), "returned value escapes: {report:#?}");
+    }
+}

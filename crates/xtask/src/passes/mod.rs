@@ -13,8 +13,9 @@
 //! | A005 | [`a005`] | Who constructs or mutates a lifecycle state outside the machine? |
 //! | A006 | [`a006`] | Which deterministic roots can transitively reach a nondeterminism source? |
 //! | A007 | [`a007`] | Which `anubis-parallel` closures break the executor's determinism contract? |
+//! | A008 | [`a008`] | Which hot-path allocations are scope-local (arena-able), and do arena-clean functions stay clean? |
 //!
-//! A003/A006/A007 consume the interprocedural effect summaries of
+//! A003/A006/A007/A008 consume the interprocedural effect summaries of
 //! [`crate::dataflow`]; the others scan per-function.
 //!
 //! Findings are keyed by *(code, file, function, kind)* — deliberately not
@@ -33,6 +34,7 @@ pub mod a004;
 pub mod a005;
 pub mod a006;
 pub mod a007;
+pub mod a008;
 
 use crate::callgraph::CallGraph;
 use crate::checks::GATED_CRATES;
@@ -152,6 +154,20 @@ pub struct AnalysisConfig {
     /// A006 beyond the parallel callers: experiment renderers and the obs
     /// ring-buffer writers.
     pub deterministic_root_paths: Vec<String>,
+    /// Crate directory names implementing the sanctioned arena
+    /// (`anubis-arena`). Their internal allocations record no sites —
+    /// pooled growth inside the arena is the mechanism, not a hot-path
+    /// cost — and calls into them never count against arena-clean
+    /// functions.
+    pub arena_crates: Vec<String>,
+    /// Functions registered **arena-clean**: every *direct* allocation in
+    /// their own body (closures included) is an enforced A008 failure —
+    /// per-call scratch must come from `anubis-arena` instead. Direct
+    /// sites only, deliberately: transitive reach through the
+    /// over-approximate name-based call graph would import collision
+    /// noise, and the transitive budget is A003's job. The `enforce` flag
+    /// is ignored; registration itself is the enforcement.
+    pub arena_clean_entries: Vec<HotEntry>,
 }
 
 impl Default for AnalysisConfig {
@@ -217,6 +233,17 @@ impl Default for AnalysisConfig {
                 "bench/src/experiments/".to_owned(),
                 "obs/src/".to_owned(),
             ],
+            arena_crates: vec!["arena".to_owned()],
+            // The converted zero-alloc hot loops (PR 9): per-call scratch
+            // comes from `anubis-arena` pools or caller-provided buffers;
+            // any direct allocation reappearing in them fails the run.
+            arena_clean_entries: vec![
+                HotEntry::enforced("cluster/src/sim.rs", "try_allocate"),
+                HotEntry::enforced("benchsuite/src/runner.rs", "append_jsonl"),
+                HotEntry::enforced("obs/src/trace.rs", "append_jsonl"),
+                HotEntry::enforced("metrics/src/json.rs", "push_f64"),
+                HotEntry::enforced("metrics/src/json.rs", "push_escaped"),
+            ],
         }
     }
 }
@@ -235,11 +262,13 @@ impl AnalysisConfig {
             parallel_entries: Vec::new(),
             env_shims: Vec::new(),
             deterministic_root_paths: Vec::new(),
+            arena_crates: Vec::new(),
+            arena_clean_entries: Vec::new(),
         }
     }
 }
 
-/// Runs all seven passes and returns findings sorted by (code, path,
+/// Runs all eight passes and returns findings sorted by (code, path,
 /// line, kind, func) — a deterministic order suitable for diffing. The
 /// call graph and the interprocedural summaries are computed once and
 /// shared by every summary-consuming pass.
@@ -253,11 +282,22 @@ pub fn run_analysis(ws: &Workspace, config: &AnalysisConfig) -> Vec<Finding> {
     findings.extend(a005::run(ws, &graph, config));
     findings.extend(a006::run(ws, &graph, &summaries, config));
     findings.extend(a007::run(ws, &graph, &summaries, config));
+    findings.extend(a008::run(ws, &graph, &summaries, config));
     findings.sort_by(|a, b| {
         (a.code, &a.path, a.line, &a.kind, &a.func)
             .cmp(&(b.code, &b.path, b.line, &b.kind, &b.func))
     });
     findings
+}
+
+/// Computes the A008 arena-able inventory (see [`a008::arena_able`]):
+/// every scope-local allocation reachable from an A003 hot entry. The
+/// `analyze --arena-report` flag prints it as an informational report;
+/// the sites are candidates for pooled-scratch conversion, not findings.
+pub fn arena_able_report(ws: &Workspace, config: &AnalysisConfig) -> Vec<a008::ArenaAble> {
+    let graph = CallGraph::build(ws);
+    let summaries = Summaries::compute(ws, &graph, config);
+    a008::arena_able(ws, &graph, &summaries, config)
 }
 
 /// Renders a call path of function indices as `a -> B::b -> c`.

@@ -302,6 +302,24 @@ mod tests {
     }
 
     #[test]
+    fn report_surfaces_missing_and_untracked_in_both_outputs() {
+        // The verdicts must be visible in the artifact and the console
+        // summary, not just encoded in `failed()` — CI triage reads both.
+        let report = compare(&map(&[("cdf", 1000.0)]), &map(&[("brand-new", 10.0)]), 0.25);
+
+        let rendered = report.render();
+        assert!(rendered.contains("cdf"));
+        assert!(rendered.contains("tracked in baseline but not measured — FAIL"));
+        assert!(rendered.contains("brand-new"));
+        assert!(rendered.contains("measured but not baselined (informational)"));
+
+        let json = report.to_json();
+        assert!(json.contains("\"status\": \"fail\""));
+        assert!(json.contains("\"missing\": [\"cdf\"]"));
+        assert!(json.contains("\"untracked\": [\"brand-new\"]"));
+    }
+
+    #[test]
     fn parses_baseline_and_current_formats() {
         let baseline =
             parse_baseline("{\"issue\": 5, \"kernels\": {\"cdf\": 1200, \"scan/full\": 3e4}}")

@@ -211,6 +211,10 @@ const RULES: &[(&str, &str)] = &[
         "A007",
         "Parallel worker closure breaks the executor's determinism contract",
     ),
+    (
+        "A008",
+        "Direct allocation in an arena-clean function bypasses anubis-arena",
+    ),
 ];
 
 /// Renders findings as a SARIF-like report. Baselined findings carry
@@ -475,5 +479,44 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn sarif_driver_lists_rule_metadata_for_every_code() {
+        let sarif = to_sarif(&[], &Baseline::default());
+        assert!(sarif.contains("\"name\": \"anubis-xtask-analyze\""));
+        for code in [
+            "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008",
+        ] {
+            assert!(
+                sarif.contains(&format!("{{\"id\": \"{code}\", \"shortDescription\"")),
+                "rule {code} missing from driver metadata"
+            );
+        }
+        assert!(
+            sarif.contains("bypasses anubis-arena"),
+            "A008 description missing"
+        );
+    }
+
+    #[test]
+    fn sarif_escapes_paths_and_messages() {
+        let mut f = finding("A002", "crates/odd\"name/src/lib.rs", "f", "float-eq");
+        f.message = "compares `a\t== b`\nacross lines \\ backslash".to_owned();
+        let sarif = to_sarif(&[f], &Baseline::default());
+        assert!(sarif.contains("\"uri\": \"crates/odd\\\"name/src/lib.rs\""));
+        assert!(sarif.contains("compares `a\\t== b`\\nacross lines \\\\ backslash"));
+        // The escaped report must still be one well-formed JSON document.
+        crate::json::parse(&sarif).expect("SARIF output parses as JSON");
+    }
+
+    #[test]
+    fn sarif_properties_carry_the_baselined_marker_both_ways() {
+        let suppressed = finding("A001", "a.rs", "f", "panic-reach");
+        let fresh = finding("A002", "b.rs", "g", "float-eq");
+        let old = Baseline::from_findings(std::slice::from_ref(&suppressed));
+        let sarif = to_sarif(&[suppressed, fresh], &old);
+        assert!(sarif.contains("\"baselined\": true"));
+        assert!(sarif.contains("\"baselined\": false"));
     }
 }

@@ -151,6 +151,43 @@ fn a007_fixture_reports_mut_capture_in_parallel_closure() {
 }
 
 #[test]
+fn a008_fixture_reports_direct_allocation_in_arena_clean_fn() {
+    let findings = analyze_fixture("a008");
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.code, "A008");
+    assert_eq!(f.path, "crates/cluster/src/sim.rs");
+    assert_eq!(f.func, "try_allocate");
+    assert_eq!(f.kind, "non-arena-alloc");
+    assert!(f.enforced, "arena-clean violations are hard failures");
+    assert!(
+        f.message.contains("escape: local"),
+        "escape class missing: {}",
+        f.message
+    );
+}
+
+#[test]
+fn a003_fixture_site_is_inventoried_as_arena_able() {
+    // The a003 fixture's hot-path buffer never escapes `accumulate`, so
+    // the informational arena-able inventory proposes it for conversion,
+    // with the call path from the hot entry.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analysis/a003");
+    let ws = Workspace::scan(&root).expect("scan fixture");
+    let report = anubis_xtask::passes::arena_able_report(&ws, &AnalysisConfig::default());
+    assert_eq!(report.len(), 1, "report: {report:#?}");
+    let site = &report[0];
+    assert_eq!(site.path, "crates/selector/src/coxtime.rs");
+    assert_eq!(site.func, "accumulate");
+    assert_eq!(site.kind, "Vec::new");
+    assert!(
+        site.via.contains("fit -> accumulate"),
+        "call path missing: {}",
+        site.via
+    );
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     let findings = analyze_fixture("clean");
     assert!(findings.is_empty(), "findings: {findings:#?}");

@@ -70,4 +70,13 @@ fn traces_are_byte_identical_across_runs_and_thread_counts() {
         !first.contains("\"name\":\"GPU GEMM FP16\""),
         "per-node benchmark spans must be suppressed under the executor"
     );
+
+    // Debug builds publish the simulator's arena-pool accounting when the
+    // per-tick scratch arenas reset; the totals are part of the same
+    // deterministic byte contract (release builds omit them entirely).
+    #[cfg(debug_assertions)]
+    {
+        assert!(first.contains("\"counter\":\"arena.takes\""));
+        assert!(first.contains("\"counter\":\"arena.misses\""));
+    }
 }

@@ -131,6 +131,6 @@ fn skip_threshold_scales_with_node_count() {
         },
     );
     // One low-risk node: skip. Forty of them jointly exceed p0.
-    assert!(!selector.should_validate(&vec![NodeStatus::fresh(); 1], 24.0));
+    assert!(!selector.should_validate(&[NodeStatus::fresh(); 1], 24.0));
     assert!(selector.should_validate(&vec![NodeStatus::fresh(); 40], 100.0));
 }
