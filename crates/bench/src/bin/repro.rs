@@ -5,6 +5,8 @@
 //! ```text
 //! repro <experiment> [--quick] [--json] [--trace[=PATH]] [--out[=PATH]]
 //! repro all [--quick] [--json]
+//! repro fleetd [--nodes N] [--shards S] [--ticks T] [--seed X]
+//!              [--threads K] [--jsonl[=PATH]] [--trace[=PATH]] [--out[=PATH]]
 //! repro list
 //! ```
 //!
@@ -18,6 +20,13 @@
 //! file (default `target/repro_output.txt`). Both accept `--flag=PATH` or
 //! `--flag PATH` (with the experiment named first); output files default
 //! under `target/` to keep the repo root clean.
+//!
+//! `repro fleetd` runs the `anubis-fleetd` continuous-validation service.
+//! Its stdout (end-of-run summary) and `--jsonl` per-tick trace are
+//! byte-deterministic — identical for any `ANUBIS_THREADS` / `--threads`
+//! value and any `--shards` count — while wall-clock throughput figures
+//! (events/s, nodes validated/s) go to stderr. CI's service-smoke step
+//! byte-compares two runs at different thread counts.
 
 use anubis_bench::experiments::{
     appendix_a, fig1, fig2, fig3, fig4, fig5, fig6, fig8, fig9, table1, table3, table5, table6,
@@ -260,8 +269,174 @@ fn usage_exit(message: Option<&str>) -> ! {
     std::process::exit(2);
 }
 
+/// Parsed `repro fleetd` command line.
+struct FleetdCli {
+    config: anubis_fleetd::FleetdConfig,
+    jsonl: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+/// Parses the `fleetd` subcommand's flags (`--flag N` and `--flag=N`
+/// forms for the numeric knobs).
+fn parse_fleetd_args(args: &[String]) -> Result<FleetdCli, String> {
+    fn numeric<T: std::str::FromStr>(
+        flag: &str,
+        arg: &str,
+        args: &[String],
+        i: &mut usize,
+    ) -> Result<Option<T>, String> {
+        let rest = match arg.strip_prefix(flag) {
+            Some(rest) => rest,
+            None => return Ok(None),
+        };
+        let raw = if let Some(explicit) = rest.strip_prefix('=') {
+            explicit.to_owned()
+        } else if rest.is_empty() {
+            *i += 1;
+            match args.get(*i) {
+                Some(next) => next.clone(),
+                None => return Err(format!("`{flag}` needs a value")),
+            }
+        } else {
+            return Ok(None); // e.g. `--nodesy`: not this flag.
+        };
+        match raw.parse::<T>() {
+            Ok(value) => Ok(Some(value)),
+            Err(_) => Err(format!("`{flag}` needs a number, got `{raw}`")),
+        }
+    }
+
+    let mut cli = FleetdCli {
+        config: anubis_fleetd::FleetdConfig::default(),
+        jsonl: None,
+        trace: None,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(n) = numeric::<u32>("--nodes", arg, args, &mut i)? {
+            cli.config.nodes = n;
+        } else if let Some(s) = numeric::<u32>("--shards", arg, args, &mut i)? {
+            cli.config.shards = s;
+        } else if let Some(t) = numeric::<u32>("--ticks", arg, args, &mut i)? {
+            cli.config.ticks = t;
+        } else if let Some(x) = numeric::<u64>("--seed", arg, args, &mut i)? {
+            cli.config.seed = x;
+        } else if let Some(k) = numeric::<usize>("--threads", arg, args, &mut i)? {
+            cli.config.threads = k;
+        } else if let Some(rest) = arg.strip_prefix("--jsonl") {
+            match optional_path(rest, args, &mut i, true, "target/fleetd.jsonl") {
+                Some(path) => cli.jsonl = Some(path),
+                None => return Err(format!("unknown flag `{arg}`")),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--trace") {
+            match optional_path(rest, args, &mut i, true, "target/fleetd-trace.jsonl") {
+                Some(path) => cli.trace = Some(path),
+                None => return Err(format!("unknown flag `{arg}`")),
+            }
+        } else if let Some(rest) = arg.strip_prefix("--out") {
+            match optional_path(rest, args, &mut i, true, "target/fleetd-summary.txt") {
+                Some(path) => cli.out = Some(path),
+                None => return Err(format!("unknown flag `{arg}`")),
+            }
+        } else {
+            return Err(format!("unknown fleetd argument `{arg}`"));
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// Runs the continuous-validation service and reports. Deterministic
+/// output (summary, per-tick JSONL) goes to stdout and `--jsonl`;
+/// wall-clock throughput goes to stderr only.
+fn run_fleetd(args: &[String]) -> ! {
+    let cli = match parse_fleetd_args(args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: repro fleetd [--nodes N] [--shards S] [--ticks T] [--seed X] \
+                 [--threads K] [--jsonl[=PATH]] [--trace[=PATH]] [--out[=PATH]]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if cli.trace.is_some() {
+        anubis_obs::enable();
+    }
+    let ticks = cli.config.ticks;
+    let mut fleet = anubis_fleetd::Coordinator::new(cli.config);
+    let mut jsonl = String::new();
+    let want_jsonl = cli.jsonl.is_some();
+    let started = Stopwatch::start();
+    let summary = fleet.run(ticks, |tick| {
+        if want_jsonl {
+            tick.write_jsonl(&mut jsonl);
+        }
+    });
+    let elapsed = started.elapsed_secs().max(1e-9);
+
+    let rendered = summary.render();
+    print!("{rendered}");
+    let mut failed = false;
+    if let Some(path) = &cli.out {
+        match write_file(path, &rendered) {
+            Ok(()) => eprintln!("summary written to {}", path.display()),
+            Err(message) => {
+                eprintln!("error: {message}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &cli.jsonl {
+        match write_file(path, &jsonl) {
+            Ok(()) => eprintln!("tick trace written to {}", path.display()),
+            Err(message) => {
+                eprintln!("error: {message}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = &cli.trace {
+        let trace = anubis_obs::drain();
+        anubis_obs::disable();
+        match write_file(path, &trace.to_jsonl()) {
+            Ok(()) => eprintln!(
+                "obs trace written to {} ({} records, {} dropped)",
+                path.display(),
+                trace.records.len(),
+                trace.dropped
+            ),
+            Err(message) => {
+                eprintln!("error: {message}");
+                failed = true;
+            }
+        }
+    }
+
+    let node_ticks = f64::from(summary.nodes) * f64::from(summary.ticks);
+    let events = summary.incidents + summary.samples + summary.jobs_started + summary.repairs;
+    eprintln!(
+        "fleetd: {} nodes x {} ticks ({} shards) in {:.2}s — {:.0} node-ticks/s, {:.0} events/s, {:.0} nodes validated/s",
+        summary.nodes,
+        summary.ticks,
+        summary.shards,
+        elapsed,
+        node_ticks / elapsed,
+        events as f64 / elapsed,
+        summary.validations as f64 / elapsed,
+    );
+    std::process::exit(i32::from(failed));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "fleetd") {
+        run_fleetd(&args[1..]);
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(message) => usage_exit(Some(&message)),

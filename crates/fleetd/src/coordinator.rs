@@ -1,0 +1,567 @@
+//! The fleetd coordinator: the decision-making primary of the service.
+//!
+//! The coordinator owns everything a decision depends on — the
+//! [`LifecycleTable`], job placement, the validation budget, the repair
+//! pipeline, and the fleet-wide defect criteria — while the
+//! [`ShardWorker`]s own the data movement (incident ingestion, status
+//! covariates, benchmark execution). One [`Coordinator::step`] is a
+//! virtual-time tick:
+//!
+//! 1. finish repairs that came due and return those nodes to service,
+//! 2. complete jobs whose duration elapsed,
+//! 3. ingest job arrivals and place the pending queue FIFO onto healthy
+//!    nodes (ascending node order),
+//! 4. run every shard's [`ShardWorker::tick`] on the deterministic
+//!    executor (this is the only parallel phase),
+//! 5. apply shard proposals **in fixed shard order** — quarantines kill
+//!    the victim's job and enqueue a repair,
+//! 6. start validations on suspect nodes, ascending, up to the per-tick
+//!    budget, and
+//! 7. periodically merge the shard sketches
+//!    ([`anubis_metrics::EcdfSketch::merged`]) and refresh the defect
+//!    criteria from the merged quantile.
+//!
+//! Because shard ranges are contiguous and ascending, "shard order" in
+//! step 5 equals global node order — which is why the service's output is
+//! byte-identical for any shard count and any `ANUBIS_THREADS`.
+
+use crate::config::FleetdConfig;
+use crate::shard::{ShardWorker, TickContext};
+use anubis_lifecycle::{LifecycleEvent, LifecycleTable, StateCounts};
+use anubis_metrics::EcdfSketch;
+use anubis_parallel::map_chunks_mut;
+use anubis_traces::{shard_ranges, AllocationStream, JobArrival};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Sentinel for "node serves no job" in the node→job map.
+const NO_JOB: u32 = u32::MAX;
+
+/// An active (or finished) customer job.
+#[derive(Debug, Clone)]
+struct Job {
+    /// Nodes the job occupies, ascending.
+    nodes: Vec<u32>,
+    /// Cleared when the job completes or is killed by a quarantine.
+    alive: bool,
+}
+
+/// One tick's observable outcome, in both the live summary and the JSONL
+/// trace. All fields are deterministic functions of the config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickSummary {
+    /// Tick index.
+    pub tick: u32,
+    /// Virtual hour at the end of the tick window.
+    pub hour: f64,
+    /// Incidents ingested across all shards.
+    pub incidents: usize,
+    /// Validation benchmark samples appended across all shards.
+    pub samples: usize,
+    /// Lifecycle proposals emitted by the shards.
+    pub proposals: usize,
+    /// Validations started by the coordinator this tick.
+    pub validations_started: u32,
+    /// Nodes confirmed defective by a benchmark verdict this tick.
+    pub defects_confirmed: usize,
+    /// Nodes quarantined by an under-stress incident this tick.
+    pub incident_quarantines: usize,
+    /// Repairs completed (nodes returned to service) this tick.
+    pub repairs_completed: usize,
+    /// Jobs placed this tick.
+    pub jobs_started: usize,
+    /// Jobs that ran to completion this tick.
+    pub jobs_completed: usize,
+    /// Jobs killed because a member node was quarantined this tick.
+    pub jobs_killed: usize,
+    /// Arrivals dropped at the pending-queue cap this tick.
+    pub jobs_dropped: usize,
+    /// Jobs awaiting placement after this tick.
+    pub pending_jobs: usize,
+    /// Lifecycle census after this tick.
+    pub counts: StateCounts,
+    /// Defect criteria in force during this tick (`None` in build-out).
+    pub criteria_threshold: Option<f64>,
+}
+
+impl TickSummary {
+    /// Appends this tick as one JSONL line (including the trailing
+    /// newline). Field order and float formatting are fixed, so traces
+    /// byte-compare across thread and shard counts.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let c = &self.counts;
+        let _ = write!(
+            out,
+            "{{\"tick\":{},\"hour\":{:.3},\"incidents\":{},\"samples\":{},\"proposals\":{},\
+             \"validations_started\":{},\"defects_confirmed\":{},\"incident_quarantines\":{},\
+             \"repairs_completed\":{},\"jobs_started\":{},\"jobs_completed\":{},\
+             \"jobs_killed\":{},\"jobs_dropped\":{},\"pending_jobs\":{},\
+             \"healthy\":{},\"busy\":{},\"suspect\":{},\"validating\":{},\
+             \"quarantined\":{},\"repaired\":{},\"criteria\":",
+            self.tick,
+            self.hour,
+            self.incidents,
+            self.samples,
+            self.proposals,
+            self.validations_started,
+            self.defects_confirmed,
+            self.incident_quarantines,
+            self.repairs_completed,
+            self.jobs_started,
+            self.jobs_completed,
+            self.jobs_killed,
+            self.jobs_dropped,
+            self.pending_jobs,
+            c.healthy,
+            c.busy,
+            c.suspect,
+            c.validating,
+            c.quarantined,
+            c.repaired,
+        );
+        match self.criteria_threshold {
+            Some(t) => {
+                let _ = write!(out, "{t:.6}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// Whole-run totals, reported once at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetSummary {
+    /// Ticks executed.
+    pub ticks: u32,
+    /// Fleet size.
+    pub nodes: u32,
+    /// Shard count (affects nothing but the parallel decomposition).
+    pub shards: u32,
+    /// Total incidents ingested.
+    pub incidents: u64,
+    /// Total validation benchmark samples.
+    pub samples: u64,
+    /// Total validations started.
+    pub validations: u64,
+    /// Defects confirmed by benchmark verdicts.
+    pub defects_confirmed: u64,
+    /// Quarantines triggered by under-stress incidents.
+    pub incident_quarantines: u64,
+    /// Repairs completed.
+    pub repairs: u64,
+    /// Jobs placed.
+    pub jobs_started: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs killed by quarantines.
+    pub jobs_killed: u64,
+    /// Arrivals dropped at the pending-queue cap.
+    pub jobs_dropped: u64,
+    /// Final lifecycle census.
+    pub final_counts: StateCounts,
+    /// Defect criteria in force at the end (`None` if never established).
+    pub criteria_threshold: Option<f64>,
+}
+
+impl FleetSummary {
+    /// Renders the deterministic end-of-run summary block (stable line
+    /// order). Deliberately omits everything that is *not* part of the
+    /// determinism contract: the shard count, the thread count, and any
+    /// wall-clock timing — those belong on stderr. The block is therefore
+    /// byte-identical across `ANUBIS_THREADS` *and* shard counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let c = &self.final_counts;
+        let _ = writeln!(out, "fleetd summary");
+        let _ = writeln!(out, "  fleet: {} nodes, {} ticks", self.nodes, self.ticks);
+        let _ = writeln!(
+            out,
+            "  events: {} incidents, {} benchmark samples",
+            self.incidents, self.samples
+        );
+        let _ = writeln!(
+            out,
+            "  validation: {} started, {} defects, {} incident quarantines, {} repairs",
+            self.validations, self.defects_confirmed, self.incident_quarantines, self.repairs
+        );
+        let _ = writeln!(
+            out,
+            "  jobs: {} started, {} completed, {} killed, {} dropped",
+            self.jobs_started, self.jobs_completed, self.jobs_killed, self.jobs_dropped
+        );
+        let _ = writeln!(
+            out,
+            "  final: {} healthy, {} busy, {} suspect, {} validating, {} quarantined, {} repaired",
+            c.healthy, c.busy, c.suspect, c.validating, c.quarantined, c.repaired
+        );
+        match self.criteria_threshold {
+            Some(t) => {
+                let _ = writeln!(out, "  criteria: score >= {t:.6}");
+            }
+            None => {
+                let _ = writeln!(out, "  criteria: (build-out)");
+            }
+        }
+        out
+    }
+}
+
+/// The sharded continuous-validation service (see the module docs).
+/// Cloning forks the whole service state (benchmark setups use this to
+/// re-run a warmed fleet from a snapshot).
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    cfg: FleetdConfig,
+    table: LifecycleTable,
+    shards: Vec<ShardWorker>,
+    alloc: AllocationStream,
+    pending: VecDeque<JobArrival>,
+    jobs: Vec<Job>,
+    job_of: Vec<u32>,
+    due: BTreeMap<u32, Vec<u32>>,
+    repair_queue: VecDeque<(u32, u32)>,
+    criteria_threshold: Option<f64>,
+    tick: u32,
+    totals: FleetSummary,
+    // Persistent scratch (steady state allocates only for new jobs).
+    repaired_now: Vec<u32>,
+    arrivals: Vec<JobArrival>,
+    free: Vec<u32>,
+}
+
+impl Coordinator {
+    /// Builds the service: one lifecycle table, `shards` workers over
+    /// contiguous node ranges, and the arrival stream.
+    pub fn new(cfg: FleetdConfig) -> Self {
+        let ranges = shard_ranges(cfg.nodes, cfg.shards);
+        let shards: Vec<ShardWorker> = ranges
+            .into_iter()
+            .map(|r| ShardWorker::new(&cfg, r))
+            .collect();
+        let alloc = AllocationStream::new(&cfg.allocation());
+        Self {
+            table: LifecycleTable::new(cfg.nodes as usize),
+            shards,
+            alloc,
+            pending: VecDeque::new(),
+            jobs: Vec::new(),
+            job_of: vec![NO_JOB; cfg.nodes as usize],
+            due: BTreeMap::new(),
+            repair_queue: VecDeque::new(),
+            criteria_threshold: None,
+            tick: 0,
+            totals: FleetSummary {
+                nodes: cfg.nodes,
+                shards: cfg.shards.clamp(1, cfg.nodes.max(1)),
+                ..FleetSummary::default()
+            },
+            repaired_now: Vec::new(),
+            arrivals: Vec::new(),
+            free: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FleetdConfig {
+        &self.cfg
+    }
+
+    /// The lifecycle table (decision state).
+    pub fn table(&self) -> &LifecycleTable {
+        &self.table
+    }
+
+    /// Mutable lifecycle table access, e.g. to enable the transition
+    /// journal before a run.
+    pub fn table_mut(&mut self) -> &mut LifecycleTable {
+        &mut self.table
+    }
+
+    /// The shard workers, in shard (= node) order.
+    pub fn shards(&self) -> &[ShardWorker] {
+        &self.shards
+    }
+
+    /// The defect criteria currently in force.
+    pub fn criteria_threshold(&self) -> Option<f64> {
+        self.criteria_threshold
+    }
+
+    /// Ticks executed so far.
+    pub fn tick_index(&self) -> u32 {
+        self.tick
+    }
+
+    /// Executes one tick and returns its summary.
+    #[allow(clippy::too_many_lines)]
+    pub fn step(&mut self) -> TickSummary {
+        let tick = self.tick;
+        let t0 = f64::from(tick) * self.cfg.tick_hours;
+        let t1 = f64::from(tick + 1) * self.cfg.tick_hours;
+        anubis_obs::set_time(t0);
+        let _span = anubis_obs::span!("fleetd.tick");
+
+        // 1. Repairs that came due: Quarantined -> Repaired -> Healthy,
+        // and tell the shards to rejuvenate the hardware.
+        self.repaired_now.clear();
+        let mut repairs_completed = 0usize;
+        while let Some(&(ready, node)) = self.repair_queue.front() {
+            if ready > tick {
+                break;
+            }
+            self.repair_queue.pop_front();
+            if self
+                .table
+                .apply_if_legal(node as usize, LifecycleEvent::RepairCompleted)
+                && self
+                    .table
+                    .apply_if_legal(node as usize, LifecycleEvent::ReturnedToService)
+            {
+                self.repaired_now.push(node);
+                repairs_completed += 1;
+            }
+        }
+        self.repaired_now.sort_unstable();
+
+        // 2. Jobs whose duration elapsed.
+        let mut jobs_completed = 0usize;
+        if let Some(due_jobs) = self.due.remove(&tick) {
+            for job_id in due_jobs {
+                let job = &mut self.jobs[job_id as usize];
+                if !job.alive {
+                    continue;
+                }
+                job.alive = false;
+                jobs_completed += 1;
+                for i in 0..self.jobs[job_id as usize].nodes.len() {
+                    let node = self.jobs[job_id as usize].nodes[i];
+                    if self.job_of[node as usize] == job_id {
+                        self.table
+                            .apply_if_legal(node as usize, LifecycleEvent::JobCompleted);
+                        self.job_of[node as usize] = NO_JOB;
+                    }
+                }
+            }
+        }
+
+        // 3. Arrivals and FIFO placement onto healthy nodes.
+        self.arrivals.clear();
+        self.alloc.poll(t1, &mut self.arrivals);
+        let mut jobs_dropped = 0usize;
+        for arrival in self.arrivals.drain(..) {
+            if self.pending.len() >= self.cfg.max_pending_jobs {
+                jobs_dropped += 1;
+            } else {
+                self.pending.push_back(arrival);
+            }
+        }
+        self.free.clear();
+        for (node, state) in self.table.states().iter().enumerate() {
+            if state.is_healthy() {
+                self.free.push(node as u32);
+            }
+        }
+        let mut jobs_started = 0usize;
+        let mut next_free = 0usize;
+        while let Some(front) = self.pending.front() {
+            let want = front.nodes as usize;
+            if want == 0 {
+                self.pending.pop_front();
+                continue;
+            }
+            if next_free + want > self.free.len() {
+                break; // head-of-line blocks until capacity frees up
+            }
+            let arrival = match self.pending.pop_front() {
+                Some(a) => a,
+                None => break,
+            };
+            let job_id = self.jobs.len() as u32;
+            let members = &self.free[next_free..next_free + want];
+            for &node in members {
+                self.table
+                    .apply_if_legal(node as usize, LifecycleEvent::JobAssigned);
+                self.job_of[node as usize] = job_id;
+            }
+            self.jobs.push(Job {
+                nodes: members.to_vec(),
+                alive: true,
+            });
+            let duration_ticks =
+                ((arrival.duration_hours / self.cfg.tick_hours).ceil() as u32).max(1);
+            self.due
+                .entry(tick + duration_ticks)
+                .or_default()
+                .push(job_id);
+            next_free += want;
+            jobs_started += 1;
+        }
+
+        // 4. The parallel shard phase (the only one). The snapshot the
+        // shards see includes this tick's placements and repairs.
+        let ctx = TickContext {
+            tick,
+            t0,
+            t1,
+            horizon_hours: self.cfg.horizon_hours,
+            risk_threshold: self.cfg.risk_threshold,
+            criteria_threshold: self.criteria_threshold,
+            cooldown_ticks: self.cfg.cooldown_ticks,
+        };
+        let states = self.table.states();
+        let repaired = self.repaired_now.as_slice();
+        map_chunks_mut(&mut self.shards, 1, self.cfg.threads, |_, chunk| {
+            for shard in chunk {
+                shard.tick(&ctx, states, repaired);
+            }
+        });
+
+        // 5. Apply proposals in fixed shard order (= global node order).
+        let mut incidents = 0usize;
+        let mut samples = 0usize;
+        let mut proposals = 0usize;
+        let mut defects_confirmed = 0usize;
+        let mut incident_quarantines = 0usize;
+        let mut jobs_killed = 0usize;
+        for shard_id in 0..self.shards.len() {
+            let report = self.shards[shard_id].report();
+            incidents += report.incidents;
+            samples += report.samples;
+            proposals += report.proposals.len();
+            for i in 0..self.shards[shard_id].report().proposals.len() {
+                let (node, event) = self.shards[shard_id].report().proposals[i];
+                if !self.table.apply_if_legal(node as usize, event) {
+                    continue;
+                }
+                match event {
+                    LifecycleEvent::IncidentObserved => {
+                        incident_quarantines += 1;
+                        if self.kill_job_of(node) {
+                            jobs_killed += 1;
+                        }
+                        self.repair_queue
+                            .push_back((tick + self.cfg.repair_ticks, node));
+                    }
+                    LifecycleEvent::DefectConfirmed => {
+                        defects_confirmed += 1;
+                        self.repair_queue
+                            .push_back((tick + self.cfg.repair_ticks, node));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // 6. Start validations on suspects, ascending, up to the budget.
+        // `ValidationStarted` is only legal from suspect, so attempting
+        // it *is* the suspect check.
+        let cap = self.cfg.validation_cap();
+        let mut validations_started = 0u32;
+        for node in 0..self.cfg.nodes {
+            if validations_started >= cap {
+                break;
+            }
+            if self
+                .table
+                .apply_if_legal(node as usize, LifecycleEvent::ValidationStarted)
+            {
+                validations_started += 1;
+            }
+        }
+
+        // 7. Periodic criteria refresh from the merged fleet sketch.
+        if (tick + 1).is_multiple_of(self.cfg.merge_every_ticks.max(1)) {
+            let _merge = anubis_obs::span!("fleetd.merge");
+            let merged = EcdfSketch::merged(self.shards.iter().map(ShardWorker::sketch));
+            if merged.len() >= self.cfg.min_criteria_samples {
+                self.criteria_threshold = Some(merged.quantile(self.cfg.defect_quantile));
+            }
+        }
+
+        let counts = self.table.counts();
+        anubis_obs::set_time(t1); // the open tick span covers [t0, t1]
+        anubis_obs::counter!("fleetd.incidents", incidents as i64);
+        anubis_obs::counter!("fleetd.samples", samples as i64);
+        anubis_obs::counter!("fleetd.validations", i64::from(validations_started));
+        anubis_obs::counter!(
+            "fleetd.quarantines",
+            (defects_confirmed + incident_quarantines) as i64
+        );
+
+        self.tick += 1;
+        self.totals.ticks = self.tick;
+        self.totals.incidents += incidents as u64;
+        self.totals.samples += samples as u64;
+        self.totals.validations += u64::from(validations_started);
+        self.totals.defects_confirmed += defects_confirmed as u64;
+        self.totals.incident_quarantines += incident_quarantines as u64;
+        self.totals.repairs += repairs_completed as u64;
+        self.totals.jobs_started += jobs_started as u64;
+        self.totals.jobs_completed += jobs_completed as u64;
+        self.totals.jobs_killed += jobs_killed as u64;
+        self.totals.jobs_dropped += jobs_dropped as u64;
+        self.totals.final_counts = counts;
+        self.totals.criteria_threshold = self.criteria_threshold;
+
+        TickSummary {
+            tick,
+            hour: t1,
+            incidents,
+            samples,
+            proposals,
+            validations_started,
+            defects_confirmed,
+            incident_quarantines,
+            repairs_completed,
+            jobs_started,
+            jobs_completed,
+            jobs_killed,
+            jobs_dropped,
+            pending_jobs: self.pending.len(),
+            counts,
+            criteria_threshold: self.criteria_threshold,
+        }
+    }
+
+    /// Kills the job occupying `node` (the node itself was just
+    /// quarantined): surviving members return to healthy, the job's due
+    /// entry is left to lapse. Returns whether a live job was killed.
+    fn kill_job_of(&mut self, node: u32) -> bool {
+        let job_id = self.job_of[node as usize];
+        self.job_of[node as usize] = NO_JOB;
+        if job_id == NO_JOB {
+            return false;
+        }
+        let job = &mut self.jobs[job_id as usize];
+        if !job.alive {
+            return false;
+        }
+        job.alive = false;
+        for i in 0..self.jobs[job_id as usize].nodes.len() {
+            let member = self.jobs[job_id as usize].nodes[i];
+            if member != node && self.job_of[member as usize] == job_id {
+                self.table
+                    .apply_if_legal(member as usize, LifecycleEvent::JobCompleted);
+                self.job_of[member as usize] = NO_JOB;
+            }
+        }
+        true
+    }
+
+    /// Runs `ticks` ticks, invoking `on_tick` after each, and returns the
+    /// run totals.
+    pub fn run(&mut self, ticks: u32, mut on_tick: impl FnMut(&TickSummary)) -> FleetSummary {
+        for _ in 0..ticks {
+            let summary = self.step();
+            on_tick(&summary);
+        }
+        self.totals
+    }
+
+    /// The run totals so far.
+    pub fn totals(&self) -> FleetSummary {
+        self.totals
+    }
+}

@@ -1,0 +1,92 @@
+//! The fleetd determinism contract: the service's observable output —
+//! end-of-run summary and per-tick JSONL — is a pure function of the
+//! config, independent of both the shard count and the executor's
+//! thread count.
+
+use anubis_fleetd::{Coordinator, FleetdConfig};
+
+/// Runs the service and returns `(summary text, tick JSONL)`.
+fn run(nodes: u32, shards: u32, ticks: u32, threads: usize, seed: u64) -> (String, String) {
+    let cfg = FleetdConfig {
+        nodes,
+        shards,
+        ticks,
+        threads,
+        seed,
+        ..FleetdConfig::default()
+    };
+    let mut fleet = Coordinator::new(cfg);
+    let mut jsonl = String::new();
+    let summary = fleet.run(ticks, |tick| tick.write_jsonl(&mut jsonl));
+    (summary.render(), jsonl)
+}
+
+#[test]
+fn output_is_identical_across_shard_counts() {
+    let baseline = run(600, 1, 40, 1, 42);
+    for shards in [4u32, 16] {
+        let other = run(600, shards, 40, 1, 42);
+        assert_eq!(
+            baseline.0, other.0,
+            "summary must not depend on the shard count (S={shards})"
+        );
+        assert_eq!(
+            baseline.1, other.1,
+            "tick JSONL must not depend on the shard count (S={shards})"
+        );
+    }
+}
+
+#[test]
+fn output_is_identical_across_thread_counts() {
+    let serial = run(600, 8, 40, 1, 42);
+    let parallel = run(600, 8, 40, 8, 42);
+    assert_eq!(serial.0, parallel.0, "summary must not depend on threads");
+    assert_eq!(
+        serial.1, parallel.1,
+        "tick JSONL must not depend on threads"
+    );
+}
+
+#[test]
+fn shard_and_thread_variation_combined() {
+    // The CI smoke in one test: vary both axes at once and across seeds.
+    for seed in [7u64, 2026] {
+        let a = run(300, 1, 30, 1, seed);
+        let b = run(300, 16, 30, 8, seed);
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    // Guard against the trivial way to "pass" the identity tests.
+    let a = run(300, 4, 30, 1, 1);
+    let b = run(300, 4, 30, 1, 2);
+    assert_ne!(a.1, b.1, "distinct seeds must yield distinct histories");
+}
+
+#[test]
+fn run_is_live_and_conserves_nodes() {
+    let cfg = FleetdConfig {
+        nodes: 500,
+        shards: 4,
+        ticks: 120,
+        threads: 1,
+        ..FleetdConfig::default()
+    };
+    let mut fleet = Coordinator::new(cfg);
+    let mut max_pending = 0usize;
+    let summary = fleet.run(120, |tick| {
+        assert_eq!(tick.counts.total(), 500, "nodes never appear or vanish");
+        max_pending = max_pending.max(tick.pending_jobs);
+    });
+    assert!(summary.incidents > 0, "stressed fleet must see incidents");
+    assert!(summary.validations > 0, "validation loop must run");
+    assert!(summary.repairs > 0, "repair pipeline must cycle");
+    assert!(summary.jobs_started > 0, "placement must happen");
+    assert!(
+        summary.final_counts.in_service() > 0,
+        "service must not quarantine the whole fleet"
+    );
+}

@@ -31,8 +31,10 @@
 
 pub mod machine;
 pub mod model;
+pub mod table;
 
 pub use machine::{transition, LifecycleEvent, NodeLifecycle, NodeState, TransitionError};
 pub use model::{
     check_model, CheckOutcome, CoordinatorBugs, ModelConfig, Property, Stimulus, Violation,
 };
+pub use table::{LifecycleTable, StateCounts, TransitionRecord};

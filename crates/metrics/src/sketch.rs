@@ -125,6 +125,57 @@ impl EcdfSketch {
         self.runs.push(merged);
     }
 
+    /// Merges any number of shard sketches into one fleet sketch, in the
+    /// given order. Each part is collapsed once and the collapsed runs
+    /// combine by balanced pairwise merging (`O(total · log parts)`), so
+    /// merging a 64-shard fleet never re-sorts the world. The result is
+    /// multiset-equal to appending every part's values into one sketch —
+    /// and therefore (like [`EcdfSketch::merge`]) evaluates and
+    /// quantile-queries identically regardless of how the fleet was
+    /// partitioned.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anubis_metrics::EcdfSketch;
+    ///
+    /// let mut a = EcdfSketch::new();
+    /// a.extend([3.0, 1.0]);
+    /// let mut b = EcdfSketch::new();
+    /// b.extend([2.0]);
+    /// let fleet = EcdfSketch::merged([&a, &b]);
+    /// assert_eq!(fleet.len(), 3);
+    /// assert_eq!(fleet.quantile(0.5), 2.0);
+    /// ```
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a EcdfSketch>) -> EcdfSketch {
+        let mut runs: Vec<Vec<f64>> = parts
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .map(EcdfSketch::collapsed)
+            .collect();
+        if runs.is_empty() {
+            return EcdfSketch::new();
+        }
+        // Balanced tournament: merge adjacent pairs until one run is left.
+        while runs.len() > 1 {
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut iter = runs.chunks_exact(2);
+            for pair in iter.by_ref() {
+                next.push(merge_runs(&pair[0], &pair[1]));
+            }
+            if let [odd] = iter.remainder() {
+                next.push(odd.clone());
+            }
+            runs = next;
+        }
+        let merged = runs.swap_remove(0);
+        let len = merged.len();
+        EcdfSketch {
+            runs: vec![merged],
+            len,
+        }
+    }
+
     /// Evaluates `F(x)`, the fraction of values `<= x`. Bit-identical to
     /// [`Ecdf::eval`] on the same multiset: the count of values `<= x` is
     /// the sum of per-run counts regardless of partitioning.
@@ -312,6 +363,33 @@ mod tests {
         let before = empty.clone();
         empty.merge(&EcdfSketch::new());
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merged_is_partition_invariant() {
+        let values: Vec<f64> = (0..97).map(|i| ((i * 37) % 89) as f64 * 0.5).collect();
+        let whole = {
+            let mut s = EcdfSketch::new();
+            s.extend(values.iter().copied());
+            s
+        };
+        for parts in [1usize, 3, 8, 16] {
+            let shards: Vec<EcdfSketch> = values
+                .chunks(values.len().div_ceil(parts))
+                .map(|chunk| {
+                    let mut s = EcdfSketch::new();
+                    s.extend(chunk.iter().copied());
+                    s
+                })
+                .collect();
+            let fleet = EcdfSketch::merged(shards.iter());
+            assert_eq!(fleet.len(), whole.len());
+            assert_eq!(fleet.to_ecdf(), whole.to_ecdf());
+            for p in [0.01, 0.05, 0.5, 0.95, 1.0] {
+                assert_eq!(fleet.quantile(p), whole.quantile(p), "{parts} parts, p={p}");
+            }
+        }
+        assert!(EcdfSketch::merged([]).is_empty());
     }
 
     #[test]

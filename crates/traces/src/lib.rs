@@ -20,6 +20,7 @@ pub mod allocation;
 pub mod codec;
 pub mod dataset;
 pub mod incident;
+pub mod stream;
 
 pub use allocation::{generate_allocation_trace, AllocationConfig, AllocationRequest};
 pub use codec::{
@@ -30,4 +31,8 @@ pub use dataset::{generate_buildout_fleet, BuildoutConfig};
 pub use incident::{
     generate_incident_trace, job_time_to_failure_from, sample_fault_for_category, IncidentEvent,
     IncidentTrace, IncidentTraceConfig, SourceMix, TicketDurationModel,
+};
+pub use stream::{
+    node_stream_seed, shard_ranges, AllocationStream, IncidentStreamConfig, JobArrival,
+    ShardIncidentSource,
 };

@@ -538,6 +538,20 @@ fn perfgate(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     println!("perfgate: wrote {}", out_path.display());
+    // Rotate the consumed measurements aside so a later gate run cannot
+    // silently compare against this run's (now stale) numbers. Gate mode
+    // only: `--print-baseline` is a read-only inspection.
+    match perf::rotate_consumed(&current_path) {
+        Ok(rotated) => println!(
+            "perfgate: rotated {} -> {}",
+            current_path.display(),
+            rotated.display()
+        ),
+        Err(error) => {
+            eprintln!("perfgate: {error}");
+            return ExitCode::from(2);
+        }
+    }
     if report.failed() {
         ExitCode::FAILURE
     } else {

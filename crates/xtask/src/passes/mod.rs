@@ -243,6 +243,9 @@ impl Default for AnalysisConfig {
                 HotEntry::enforced("obs/src/trace.rs", "append_jsonl"),
                 HotEntry::enforced("metrics/src/json.rs", "push_f64"),
                 HotEntry::enforced("metrics/src/json.rs", "push_escaped"),
+                // The fleetd shard hot loop (PR 10): per-tick scratch is
+                // pooled, proposals go to persistent report buffers.
+                HotEntry::enforced("fleetd/src/shard.rs", "tick"),
             ],
         }
     }

@@ -243,6 +243,27 @@ pub fn baseline_snippet(current: &BTreeMap<String, f64>) -> String {
     out
 }
 
+/// Rotates a consumed bench-results file aside (to `<path>.consumed`,
+/// replacing any earlier rotation) so the next gate run cannot silently
+/// re-read stale measurements. The harness *appends* to the JSONL file,
+/// so without rotation a gate run that forgot to re-bench would compare
+/// against last run's numbers and read as "no regression". `perfgate`
+/// calls this itself after a gate comparison — CI entry points must not
+/// (and no longer do) `rm` the file by hand.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the rename fails; the caller
+/// treats that as a gate failure rather than risking a stale re-read.
+pub fn rotate_consumed(path: &std::path::Path) -> Result<std::path::PathBuf, String> {
+    let mut rotated = path.as_os_str().to_owned();
+    rotated.push(".consumed");
+    let rotated = std::path::PathBuf::from(rotated);
+    std::fs::rename(path, &rotated)
+        .map_err(|error| format!("cannot rotate {}: {error}", path.display()))?;
+    Ok(rotated)
+}
+
 /// The gate tolerance: `ANUBIS_BENCH_TOLERANCE` when set and valid, else
 /// [`DEFAULT_TOLERANCE`].
 pub fn tolerance_from_env() -> Result<f64, String> {
@@ -343,5 +364,28 @@ mod tests {
         let parsed = parse_baseline(&snippet).expect("snippet parses");
         assert_eq!(parsed.get("a/b"), Some(&124.0));
         assert_eq!(parsed.get("c"), Some(&4.0));
+    }
+
+    #[test]
+    fn rotate_consumed_moves_the_file_aside_and_replaces_prior_rotation() {
+        let dir = std::env::temp_dir().join("anubis-perfgate-rotate-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench-current.jsonl");
+
+        // First gate run consumes its measurements.
+        std::fs::write(&path, "{\"name\":\"k\",\"median_ns\":10}\n").expect("write");
+        let rotated = rotate_consumed(&path).expect("first rotation");
+        assert!(!path.exists(), "consumed file must be moved away");
+        assert_eq!(rotated, dir.join("bench-current.jsonl.consumed"));
+
+        // Second run overwrites the previous rotation.
+        std::fs::write(&path, "{\"name\":\"k\",\"median_ns\":20}\n").expect("write");
+        rotate_consumed(&path).expect("second rotation");
+        let kept = std::fs::read_to_string(&rotated).expect("rotated contents");
+        assert!(kept.contains("20"), "latest consumption wins: {kept}");
+
+        // A gate run with no fresh measurements has nothing to rotate.
+        assert!(rotate_consumed(&path).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }
